@@ -1,0 +1,226 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation.
+// One testing.B benchmark per experiment: each iteration re-runs the full
+// experiment at a reduced call budget and reports its headline quantity as
+// a custom metric, so `go test -bench=.` both exercises the entire
+// simulation stack and prints the reproduced numbers.
+//
+// For full-scale outputs use: go run ./cmd/mallacc-bench
+package mallacc_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mallacc"
+)
+
+// benchOpt keeps per-iteration cost manageable; the cmd tool uses larger
+// budgets.
+var benchOpt = mallacc.ExpOptions{Calls: 6000, Seeds: 3, Seed: 1}
+
+func runExperiment(b *testing.B, id string) *mallacc.Report {
+	b.Helper()
+	var rep *mallacc.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = mallacc.RunExperiment(id, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep == nil || len(rep.Lines) == 0 {
+		b.Fatalf("experiment %s produced no output", id)
+	}
+	return rep
+}
+
+// parsePct extracts the last "N.N%" value from a report line.
+func parsePct(line string) (float64, bool) {
+	fields := strings.Fields(line)
+	for i := len(fields) - 1; i >= 0; i-- {
+		f := fields[i]
+		if strings.HasSuffix(f, "%") {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(f, "%"), 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// BenchmarkFigure1 regenerates the perlbench malloc-duration PDF (three
+// cost peaks).
+func BenchmarkFigure1(b *testing.B) {
+	rep := runExperiment(b, "fig1")
+	if len(rep.Lines) < 3 {
+		b.Fatal("fig1: too few histogram rows")
+	}
+}
+
+// BenchmarkFigure2 regenerates the time-in-malloc CDFs.
+func BenchmarkFigure2(b *testing.B) {
+	rep := runExperiment(b, "fig2")
+	_ = rep
+}
+
+// BenchmarkTable1 regenerates the simulator validation table and reports
+// the mean cycle error.
+func BenchmarkTable1(b *testing.B) {
+	rep := runExperiment(b, "table1")
+	last := rep.Lines[len(rep.Lines)-1]
+	if v, ok := parsePct(last); ok {
+		b.ReportMetric(v, "mean-error-%")
+	}
+}
+
+// BenchmarkFigure4 regenerates the fast-path component breakdown.
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, "fig4")
+}
+
+// BenchmarkFigure6 regenerates the size-class usage CDFs.
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "fig6")
+}
+
+// BenchmarkFigure13 regenerates allocator-time improvements and reports
+// the geometric means for Mallacc and the limit study.
+func BenchmarkFigure13(b *testing.B) {
+	rep := runExperiment(b, "fig13")
+	last := rep.Lines[len(rep.Lines)-1]
+	if v, ok := parsePct(last); ok {
+		b.ReportMetric(v, "geomean-improvement-%")
+	}
+}
+
+// BenchmarkFigure14 regenerates malloc()-time improvements.
+func BenchmarkFigure14(b *testing.B) {
+	rep := runExperiment(b, "fig14")
+	last := rep.Lines[len(rep.Lines)-1]
+	if v, ok := parsePct(last); ok {
+		b.ReportMetric(v, "geomean-improvement-%")
+	}
+}
+
+// BenchmarkFigure15 regenerates the xapian duration distributions.
+func BenchmarkFigure15(b *testing.B) {
+	runExperiment(b, "fig15")
+}
+
+// BenchmarkFigure16 regenerates the xalancbmk duration distributions.
+func BenchmarkFigure16(b *testing.B) {
+	runExperiment(b, "fig16")
+}
+
+// BenchmarkFigure17 regenerates the malloc-cache size sweep.
+func BenchmarkFigure17(b *testing.B) {
+	runExperiment(b, "fig17")
+}
+
+// BenchmarkFigure18 regenerates the allocator-time fractions.
+func BenchmarkFigure18(b *testing.B) {
+	runExperiment(b, "fig18")
+}
+
+// BenchmarkTable2 regenerates the full-program speedup significance table.
+func BenchmarkTable2(b *testing.B) {
+	rep := runExperiment(b, "table2")
+	last := rep.Lines[len(rep.Lines)-1]
+	if v, ok := parsePct(last); ok {
+		b.ReportMetric(v, "mean-speedup-%")
+	}
+}
+
+// BenchmarkArea regenerates the Section 6.4 area table and reports the
+// 16-entry total.
+func BenchmarkArea(b *testing.B) {
+	runExperiment(b, "area")
+	e := mallacc.AreaEstimate(16)
+	b.ReportMetric(e.Total(), "um2-16-entries")
+}
+
+// BenchmarkSimMallocBaseline measures simulator throughput and the
+// simulated fast-path latency for baseline TCMalloc.
+func BenchmarkSimMallocBaseline(b *testing.B) {
+	benchSimMalloc(b, mallacc.Baseline)
+}
+
+// BenchmarkSimMallocMallacc does the same with the accelerator on.
+func BenchmarkSimMallocMallacc(b *testing.B) {
+	benchSimMalloc(b, mallacc.Mallacc)
+}
+
+func benchSimMalloc(b *testing.B, v mallacc.Variant) {
+	cfg := mallacc.DefaultConfig()
+	cfg.Variant = v
+	cfg.SampleInterval = 0
+	sys := mallacc.NewSystem(cfg)
+	// Warm the lists.
+	var warm []uint64
+	for i := 0; i < 64; i++ {
+		a, _ := sys.Malloc(64)
+		warm = append(warm, a)
+	}
+	for _, a := range warm {
+		sys.Free(a, 64)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := sys.Malloc(64)
+		cycles += c
+		sys.Free(a, 64)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/malloc")
+}
+
+// BenchmarkAblation regenerates the design-decision ablation study.
+func BenchmarkAblation(b *testing.B) {
+	runExperiment(b, "ablation")
+}
+
+// BenchmarkCrossAlloc regenerates the TCMalloc-vs-jemalloc comparison.
+func BenchmarkCrossAlloc(b *testing.B) {
+	runExperiment(b, "crossalloc")
+}
+
+// BenchmarkCtxSwitch regenerates the context-switch sensitivity study.
+func BenchmarkCtxSwitch(b *testing.B) {
+	runExperiment(b, "ctxswitch")
+}
+
+// BenchmarkFrag regenerates the fragmentation accounting table.
+func BenchmarkFrag(b *testing.B) {
+	runExperiment(b, "frag")
+}
+
+// BenchmarkBuddy regenerates the hardware-buddy tradeoff table.
+func BenchmarkBuddy(b *testing.B) {
+	runExperiment(b, "buddy")
+}
+
+// BenchmarkSimJemalloc measures simulator throughput on the jemalloc
+// substrate.
+func BenchmarkSimJemalloc(b *testing.B) {
+	cfg := mallacc.DefaultConfig()
+	cfg.Allocator = mallacc.Jemalloc
+	cfg.SampleInterval = 0
+	sys := mallacc.NewSystem(cfg)
+	var warm []uint64
+	for i := 0; i < 64; i++ {
+		a, _ := sys.Malloc(64)
+		warm = append(warm, a)
+	}
+	for _, a := range warm {
+		sys.Free(a, 64)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := sys.Malloc(64)
+		cycles += c
+		sys.Free(a, 64)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/malloc")
+}

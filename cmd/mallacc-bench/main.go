@@ -1,0 +1,77 @@
+// Command mallacc-bench regenerates every table and figure of the paper's
+// evaluation (Figures 1, 2, 4, 6, 13-18 and Tables 1-2, plus the Section
+// 6.4 area analysis) on the simulated system.
+//
+// Usage:
+//
+//	mallacc-bench                 # run everything
+//	mallacc-bench -run fig13      # run one experiment
+//	mallacc-bench -run fig13,fig14 -calls 100000
+//	mallacc-bench -list           # list experiment IDs
+//	mallacc-bench -o results/     # also write one text file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mallacc/internal/harness"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		calls = flag.Int("calls", 60000, "allocator-call budget per simulation run")
+		seeds = flag.Int("seeds", 6, "seeds for the significance study (table2)")
+		seed  = flag.Uint64("seed", 1, "base RNG seed")
+		out   = flag.String("o", "", "directory to write per-experiment text reports")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := harness.ExpOptions{Calls: *calls, Seeds: *seeds, Seed: *seed}
+	var selected []harness.Experiment
+	if *run == "" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		rep := e.Run(opt)
+		fmt.Println(rep.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *out != "" {
+			path := filepath.Join(*out, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

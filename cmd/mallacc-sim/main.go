@@ -1,0 +1,118 @@
+// Command mallacc-sim runs a single workload through the simulated system
+// and prints its allocator statistics and latency distribution.
+//
+// Usage:
+//
+//	mallacc-sim -workload xapian.pages -variant mallacc -entries 16
+//	mallacc-sim -workload ubench.tp_small -variant baseline -calls 100000
+//	mallacc-sim -workloads   # list workload names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mallacc"
+)
+
+func main() {
+	var (
+		wname   = flag.String("workload", "ubench.tp_small", "workload name")
+		variant = flag.String("variant", "baseline", "baseline | mallacc | limit")
+		entries = flag.Int("entries", 32, "malloc cache entries (mallacc variant)")
+		calls   = flag.Int("calls", 60000, "allocator-call budget")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		list    = flag.Bool("workloads", false, "list workloads and exit")
+		record  = flag.String("record", "", "write the workload's request trace to this file and exit")
+		replay  = flag.String("replay", "", "run a previously recorded trace file instead of -workload")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range mallacc.Workloads() {
+			fmt.Println(w.Name())
+		}
+		return
+	}
+
+	var w mallacc.Workload
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := mallacc.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w = tr
+	} else {
+		var ok bool
+		w, ok = mallacc.WorkloadByName(*wname)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; try -workloads\n", *wname)
+			os.Exit(1)
+		}
+	}
+
+	if *record != "" {
+		tr := mallacc.RecordTrace(w, *calls, *seed)
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("recorded %d events to %s\n", len(tr.Events), *record)
+		return
+	}
+	var v mallacc.Variant
+	switch *variant {
+	case "baseline":
+		v = mallacc.Baseline
+	case "mallacc":
+		v = mallacc.Mallacc
+	case "limit":
+		v = mallacc.Limit
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+
+	r := mallacc.Run(mallacc.RunOptions{
+		Workload:  w,
+		Variant:   v,
+		MCEntries: *entries,
+		Calls:     *calls,
+		Seed:      *seed,
+	})
+
+	fmt.Printf("workload: %s  variant: %s\n", r.Workload, r.Variant)
+	fmt.Printf("mallocs: %d  frees: %d  thread-cache hits: %d  central fetches: %d  sampled: %d\n",
+		r.Heap.Mallocs, r.Heap.Frees, r.Heap.FastHits, r.Heap.CentralFetches, r.Heap.Sampled)
+	fmt.Printf("malloc: mean %.1f cycles, median %.1f, p99 %.1f (fast-path mean %.1f over %d calls)\n",
+		r.MeanMallocCycles(), r.MallocHist.MedianCycles(), r.MallocHist.PercentileCycles(99),
+		r.MeanFastMallocCycles(), r.FastMallocCalls)
+	if r.FreeCalls > 0 {
+		fmt.Printf("free:   mean %.1f cycles over %d calls\n",
+			float64(r.FreeCycles)/float64(r.FreeCalls), r.FreeCalls)
+	}
+	fmt.Printf("allocator fraction of total time: %.2f%%  (total %d cycles, app %d)\n",
+		100*r.AllocatorFraction(), r.TotalCycles, r.AppCycles)
+	fmt.Printf("core: %.2f uops/cycle in allocator calls, %d mispredicts / %d branches\n",
+		r.CPU.IPC(), r.CPU.Mispredicts, r.CPU.Branches)
+	if r.MC != nil {
+		fmt.Printf("malloc cache: lookup hit %.1f%%  pop hit %.1f%%  evictions %d  prefetches %d\n",
+			100*r.MC.LookupHitRate(), 100*r.MC.PopHitRate(), r.MC.Evictions, r.MC.Prefetches)
+	}
+	fmt.Println("\nmalloc duration distribution (time-weighted):")
+	fmt.Print(r.MallocHist.RenderPDF(40))
+}

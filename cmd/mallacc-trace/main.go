@@ -1,0 +1,108 @@
+// Command mallacc-trace dumps the micro-op traces of individual allocator
+// calls — the exact instruction streams the timing model schedules. It is
+// the tool to reach for when checking what the fast path looks like in
+// each mode, how the Mallacc instructions are wired into it (compare with
+// the paper's Figures 10 and 12), and where each cycle goes.
+//
+// Usage:
+//
+//	mallacc-trace                      # warm malloc/free in both modes
+//	mallacc-trace -size 4096 -mode mallacc
+//	mallacc-trace -cold                # include the cold (first-call) trace
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mallacc/internal/cachesim"
+	"mallacc/internal/cpu"
+	"mallacc/internal/tcmalloc"
+	"mallacc/internal/uop"
+)
+
+func main() {
+	var (
+		size = flag.Uint64("size", 64, "request size in bytes")
+		mode = flag.String("mode", "both", "baseline | mallacc | both")
+		cold = flag.Bool("cold", false, "also dump the first (cold) call")
+	)
+	flag.Parse()
+
+	if *mode == "both" || *mode == "baseline" {
+		dump(tcmalloc.ModeBaseline, *size, *cold)
+	}
+	if *mode == "both" || *mode == "mallacc" {
+		dump(tcmalloc.ModeMallacc, *size, *cold)
+	}
+}
+
+func dump(mode tcmalloc.Mode, size uint64, cold bool) {
+	cfg := tcmalloc.DefaultConfig()
+	cfg.Mode = mode
+	h := tcmalloc.New(cfg)
+	tc := h.NewThread()
+	c := cpu.New(cpu.DefaultConfig(), cachesim.NewDefaultHierarchy())
+
+	run := func(label string, f func()) {
+		h.Em.Reset()
+		f()
+		tr := h.Em.Trace()
+		cyc := c.RunTrace(tr)
+		fmt.Printf("== %s %s: %d uops, %d cycles ==\n", mode, label, len(tr.Ops), cyc)
+		printTrace(tr)
+		fmt.Println()
+	}
+
+	if cold {
+		run(fmt.Sprintf("malloc(%d) [cold]", size), func() { h.Malloc(tc, size) })
+	}
+	// Warm up: build list depth, warm caches and predictors (traces run
+	// through the core without being printed).
+	quiet := func(f func()) {
+		h.Em.Reset()
+		f()
+		c.RunTrace(h.Em.Trace())
+	}
+	var warm []uint64
+	for i := 0; i < 32; i++ {
+		quiet(func() { warm = append(warm, h.Malloc(tc, size)) })
+	}
+	for _, a := range warm {
+		a := a
+		quiet(func() { h.Free(tc, a, size) })
+	}
+	for i := 0; i < 64; i++ {
+		var a uint64
+		quiet(func() { a = h.Malloc(tc, size) })
+		quiet(func() { h.Free(tc, a, size) })
+	}
+
+	var addr uint64
+	run(fmt.Sprintf("malloc(%d) [warm]", size), func() { addr = h.Malloc(tc, size) })
+	run(fmt.Sprintf("free(%#x) [warm, sized]", addr), func() { h.Free(tc, addr, size) })
+}
+
+func printTrace(tr uop.Trace) {
+	for i, op := range tr.Ops {
+		deps := ""
+		if op.Dep1 != uop.NoDep {
+			deps = fmt.Sprintf(" d1=%d", op.Dep1)
+		}
+		if op.Dep2 != uop.NoDep {
+			deps += fmt.Sprintf(" d2=%d", op.Dep2)
+		}
+		addr := ""
+		if op.Kind.IsMemory() {
+			addr = fmt.Sprintf(" addr=%#x", op.Addr)
+		}
+		extra := ""
+		if op.Kind == uop.Branch {
+			extra = fmt.Sprintf(" site=%d taken=%v", op.Site, op.Taken)
+		}
+		if op.Kind.IsMallacc() {
+			extra = fmt.Sprintf(" entry=%d hit=%v", op.MCEntry, op.MCHit)
+		}
+		fmt.Printf("  %3d  %-14s %-10s%s%s%s\n", i, op.Kind, op.Step, addr, deps, extra)
+	}
+}

@@ -1,0 +1,57 @@
+// Cachesweep: evaluate how large the malloc cache must be for a custom
+// workload — a miniature, user-defined version of the paper's Figure 17.
+//
+// The example defines a synthetic session-store workload with a dozen hot
+// allocation sizes, then sweeps malloc-cache capacities and prints the
+// malloc-time speedup over baseline for each, showing the capacity cliff
+// the paper describes: an undersized cache *slows the allocator down*
+// (fallback path plus lookup overhead), and gains saturate once the
+// workload's size classes fit.
+//
+//	go run ./examples/cachesweep
+package main
+
+import (
+	"fmt"
+
+	"mallacc"
+)
+
+func main() {
+	wl := mallacc.NewWorkload(mallacc.WorkloadConfig{
+		WName: "example.sessionstore",
+		// A dozen hot object kinds: session headers, tokens, small and
+		// large value buffers...
+		Mix: []mallacc.SizeWeight{
+			{Size: 32, Weight: 0.25}, {Size: 64, Weight: 0.20},
+			{Size: 96, Weight: 0.12}, {Size: 160, Weight: 0.10},
+			{Size: 224, Weight: 0.08}, {Size: 320, Weight: 0.07},
+			{Size: 512, Weight: 0.06}, {Size: 768, Weight: 0.04},
+			{Size: 1024, Weight: 0.03}, {Size: 2048, Weight: 0.02},
+			{Size: 4096, Weight: 0.02}, {Size: 8192, Weight: 0.01},
+		},
+		FreeProb: 0.97, MaxLive: 10000, Sized: true,
+		WorkCyclesMin: 150, WorkCyclesMax: 400, WorkLines: 3,
+		FootprintBytes: 2 << 20,
+	})
+
+	const calls = 40000
+	base := mallacc.Run(mallacc.RunOptions{Workload: wl, Variant: mallacc.Baseline, Calls: calls, Seed: 7})
+	baseline := float64(base.MallocCycles)
+	fmt.Printf("workload %s: baseline malloc mean %.1f cycles, allocator fraction %.1f%%\n\n",
+		base.Workload, base.MeanMallocCycles(), 100*base.AllocatorFraction())
+
+	fmt.Printf("%8s  %16s  %12s  %12s\n", "entries", "malloc speedup", "lookup hit", "pop hit")
+	for _, entries := range []int{2, 4, 8, 12, 16, 24, 32} {
+		r := mallacc.Run(mallacc.RunOptions{
+			Workload: wl, Variant: mallacc.Mallacc,
+			MCEntries: entries, Calls: calls, Seed: 7,
+		})
+		speedup := 100 * (baseline - float64(r.MallocCycles)) / baseline
+		fmt.Printf("%8d  %15.1f%%  %11.1f%%  %11.1f%%\n",
+			entries, speedup, 100*r.MC.LookupHitRate(), 100*r.MC.PopHitRate())
+	}
+
+	lim := mallacc.Run(mallacc.RunOptions{Workload: wl, Variant: mallacc.Limit, Calls: calls, Seed: 7})
+	fmt.Printf("%8s  %15.1f%%\n", "limit", 100*(baseline-float64(lim.MallocCycles))/baseline)
+}

@@ -1,0 +1,107 @@
+// Webserver: drive the System API directly with a datacenter-style
+// request-handling loop — the kind of workload the paper's introduction
+// motivates ("speeding up multiple shared low-level routines that appear
+// in many applications").
+//
+// Each simulated request parses headers (several small string
+// allocations), builds a response buffer, does application work against a
+// shared in-memory index (cache pressure), and frees everything at request
+// end. Periodic context switches flush the malloc cache, showing the
+// flush-without-writeback property of Sec. 4.1.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+
+	"mallacc"
+)
+
+const (
+	requests       = 5000
+	headerAllocs   = 6
+	ctxSwitchEvery = 500
+)
+
+type result struct {
+	allocCycles, totalCycles uint64
+	lookupHit, popHit        float64
+}
+
+func serve(variant mallacc.Variant) result {
+	cfg := mallacc.DefaultConfig()
+	cfg.Variant = variant
+	cfg.Seed = 99
+	sys := mallacc.NewSystem(cfg)
+	rng := mallacc.NewRNG(2026)
+
+	// The server's in-memory index: a 4 MiB working set it touches while
+	// handling each request.
+	const indexBase = uint64(1) << 41
+	const indexLines = (4 << 20) / 64
+	touch := make([]uint64, 8)
+
+	var allocCycles uint64
+	start := sys.Cycle()
+	for req := 0; req < requests; req++ {
+		var live [][2]uint64
+
+		// Parse headers: small, short-lived strings.
+		for i := 0; i < headerAllocs; i++ {
+			sz := uint64(16 + rng.Intn(112))
+			a, c := sys.Malloc(sz)
+			allocCycles += c
+			live = append(live, [2]uint64{a, sz})
+		}
+		// Response buffer, occasionally large.
+		bufSize := uint64(512 + 256*uint64(rng.Intn(6)))
+		if rng.Bernoulli(0.005) {
+			bufSize = 300 << 10 // large response streams from spans
+		}
+		a, c := sys.Malloc(bufSize)
+		allocCycles += c
+		live = append(live, [2]uint64{a, bufSize})
+
+		// Application work: index lookups and response rendering.
+		for i := range touch {
+			touch[i] = indexBase + rng.Uint64n(indexLines)*64
+		}
+		sys.Work(800+rng.Uint64n(1200), touch)
+
+		// Request teardown: sized deletes.
+		for _, blk := range live {
+			allocCycles += sys.Free(blk[0], blk[1])
+		}
+
+		if (req+1)%ctxSwitchEvery == 0 {
+			sys.ContextSwitch()
+		}
+	}
+	sys.CheckInvariants()
+	st := sys.MallocCacheStats()
+	return result{
+		allocCycles: allocCycles,
+		totalCycles: sys.Cycle() - start,
+		lookupHit:   st.LookupHitRate(),
+		popHit:      st.PopHitRate(),
+	}
+}
+
+func main() {
+	base := serve(mallacc.Baseline)
+	acc := serve(mallacc.Mallacc)
+
+	fmt.Printf("simulated web server: %d requests, %d allocator calls each\n\n", requests, headerAllocs+1)
+	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "mallacc")
+	fmt.Printf("%-22s %14d %14d\n", "allocator cycles", base.allocCycles, acc.allocCycles)
+	fmt.Printf("%-22s %14d %14d\n", "total cycles", base.totalCycles, acc.totalCycles)
+	fmt.Printf("%-22s %13.1f%% %13.1f%%\n", "allocator fraction",
+		100*float64(base.allocCycles)/float64(base.totalCycles),
+		100*float64(acc.allocCycles)/float64(acc.totalCycles))
+	fmt.Printf("\nallocator time saved: %.1f%%   full-run speedup: %.2f%%\n",
+		100*(1-float64(acc.allocCycles)/float64(base.allocCycles)),
+		100*(1-float64(acc.totalCycles)/float64(base.totalCycles)))
+	fmt.Printf("malloc cache (despite %d context-switch flushes): lookup hit %.1f%%, pop hit %.1f%%\n",
+		requests/ctxSwitchEvery, 100*acc.lookupHit, 100*acc.popHit)
+}

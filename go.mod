@@ -1,0 +1,3 @@
+module mallacc
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package area reproduces the silicon-cost analysis of Section 6.4: a
+// parametric CAM/SRAM/logic area model for the malloc cache at 28 nm,
+// calibrated against the paper's published component estimates (CACTI 6.5+
+// for the arrays, scaled Aladdin characterizations for the index-compute
+// logic), plus the Pollack's-Rule comparison against a Haswell core.
+package area
+
+import "math"
+
+// Geometry describes the malloc cache's storage shape (Fig. 8 fields).
+type Geometry struct {
+	// Entries is the number of cache rows.
+	Entries int
+	// IndexBits is the width of one size-class-index bound; each entry
+	// stores two (lower, upper).
+	IndexBits int
+	// ClassBits stores the size class.
+	ClassBits int
+	// PointerBits is the width of the Head and Next pointers (x86-64 uses
+	// the low 48 bits).
+	PointerBits int
+	// SizeBits stores the rounded allocation size.
+	SizeBits int
+}
+
+// DefaultGeometry returns the paper's configuration for a given entry
+// count: 12-bit indices, 8-bit class, 48-bit pointers, 20-bit size, one
+// valid bit.
+func DefaultGeometry(entries int) Geometry {
+	return Geometry{Entries: entries, IndexBits: 12, ClassBits: 8, PointerBits: 48, SizeBits: 20}
+}
+
+// LRUBits returns the per-entry LRU stamp width (log2 of entries).
+func (g Geometry) LRUBits() int {
+	if g.Entries <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(g.Entries))))
+}
+
+// CAMBitsPerEntry returns the searched bits per entry: the two index
+// bounds, the size class, and the LRU stamp (three CAM arrays, Sec. 6.4).
+func (g Geometry) CAMBitsPerEntry() int {
+	return 2*g.IndexBits + g.ClassBits + g.LRUBits()
+}
+
+// SRAMBitsPerEntry returns the payload bits per entry: two pointers, the
+// allocation size, and a valid bit.
+func (g Geometry) SRAMBitsPerEntry() int {
+	return 2*g.PointerBits + g.SizeBits + 1
+}
+
+// BitsPerEntry returns total storage per entry (the paper: 152 bits).
+func (g Geometry) BitsPerEntry() int {
+	return g.CAMBitsPerEntry() + g.SRAMBitsPerEntry()
+}
+
+// CAMBytes returns total CAM storage (the paper: 72 bytes at 16 entries).
+func (g Geometry) CAMBytes() int { return g.CAMBitsPerEntry() * g.Entries / 8 }
+
+// SRAMBytes returns total SRAM storage (the paper: 234 bytes at 16
+// entries).
+func (g Geometry) SRAMBytes() int { return g.SRAMBitsPerEntry() * g.Entries / 8 }
+
+// Model holds 28 nm area coefficients, calibrated so the default geometry
+// reproduces the paper's CACTI results: CAM arrays 873 µm², SRAM array
+// 346 µm², index logic 265 µm².
+type Model struct {
+	// CAMPerBit is µm² per searched bit.
+	CAMPerBit float64
+	// CAMArrayOverhead is µm² of peripheral circuitry per CAM array
+	// (three arrays: index, class, LRU).
+	CAMArrayOverhead float64
+	// SRAMPerBit is µm² per payload bit.
+	SRAMPerBit float64
+	// SRAMArrayOverhead is µm² of periphery for the payload array.
+	SRAMArrayOverhead float64
+	// IndexLogic is the shifters and adders computing the size-class
+	// index from the requested size (the index-mode hardware), µm².
+	IndexLogic float64
+	// HaswellCoreArea is the reference core size in µm² (26.5 mm²
+	// including private L1/L2).
+	HaswellCoreArea float64
+}
+
+// DefaultModel returns the calibrated 28 nm coefficients.
+func DefaultModel() Model {
+	return Model{
+		CAMPerBit:         1.04,
+		CAMArrayOverhead:  91.0,
+		SRAMPerBit:        0.153,
+		SRAMArrayOverhead: 60.0,
+		IndexLogic:        265.0,
+		HaswellCoreArea:   26.5e6,
+	}
+}
+
+// Estimate is a full area breakdown in µm².
+type Estimate struct {
+	Geometry  Geometry
+	CAMArea   float64
+	SRAMArea  float64
+	LogicArea float64
+}
+
+// Total returns the full accelerator area in µm².
+func (e Estimate) Total() float64 { return e.CAMArea + e.SRAMArea + e.LogicArea }
+
+// Estimate computes the breakdown for a geometry.
+func (m Model) Estimate(g Geometry) Estimate {
+	camBits := float64(g.CAMBitsPerEntry() * g.Entries)
+	sramBits := float64(g.SRAMBitsPerEntry() * g.Entries)
+	return Estimate{
+		Geometry:  g,
+		CAMArea:   camBits*m.CAMPerBit + 3*m.CAMArrayOverhead,
+		SRAMArea:  sramBits*m.SRAMPerBit + m.SRAMArrayOverhead,
+		LogicArea: m.IndexLogic,
+	}
+}
+
+// FractionOfCore returns the accelerator's share of a Haswell core.
+func (m Model) FractionOfCore(e Estimate) float64 {
+	return e.Total() / m.HaswellCoreArea
+}
+
+// PollackSpeedup returns the speedup Pollack's Rule predicts for growing a
+// core by the accelerator's area: performance scales with the square root
+// of complexity (Sec. 6.4).
+func (m Model) PollackSpeedup(e Estimate) float64 {
+	return math.Sqrt(1+m.FractionOfCore(e)) - 1
+}
+
+// PollackAdvantage returns how many times a measured speedup beats the
+// Pollack prediction (the paper: 0.43% measured vs 0.003% predicted,
+// over 140x).
+func (m Model) PollackAdvantage(e Estimate, measuredSpeedup float64) float64 {
+	p := m.PollackSpeedup(e)
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return measuredSpeedup / p
+}

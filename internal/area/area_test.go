@@ -1,0 +1,85 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	g := DefaultGeometry(16)
+	// Sec. 6.4: two 12-bit indices (24b) + 8b class + log2(16)=4b LRU in
+	// CAMs; two 48-bit pointers + 20b size + valid in SRAM.
+	if g.CAMBitsPerEntry() != 36 {
+		t.Errorf("CAM bits/entry = %d, want 36", g.CAMBitsPerEntry())
+	}
+	if g.SRAMBitsPerEntry() != 117 {
+		t.Errorf("SRAM bits/entry = %d, want 117", g.SRAMBitsPerEntry())
+	}
+	if g.CAMBytes() != 72 {
+		t.Errorf("CAM bytes = %d, want 72 (paper)", g.CAMBytes())
+	}
+	if g.SRAMBytes() != 234 {
+		t.Errorf("SRAM bytes = %d, want 234 (paper)", g.SRAMBytes())
+	}
+	// Paper quotes 152 bits of storage per entry (our exact sum is 153
+	// including the 4-bit LRU stamp).
+	if b := g.BitsPerEntry(); b < 150 || b > 155 {
+		t.Errorf("bits/entry = %d", b)
+	}
+}
+
+func TestAreaMatchesPaperNumbers(t *testing.T) {
+	m := DefaultModel()
+	e := m.Estimate(DefaultGeometry(16))
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.0f um2, want %.0f +/- %.0f", name, got, want, tol)
+		}
+	}
+	check("CAM", e.CAMArea, 873, 15)
+	check("SRAM", e.SRAMArea, 346, 10)
+	check("logic", e.LogicArea, 265, 1)
+	if e.Total() > 1500 {
+		t.Errorf("total %.0f um2 exceeds the paper's 1500 bound", e.Total())
+	}
+	// "merely 0.006% of the core area"
+	if f := m.FractionOfCore(e); f < 0.00004 || f > 0.00007 {
+		t.Errorf("core fraction %.6f, want ~0.000056", f)
+	}
+}
+
+func TestAreaMonotonicInEntries(t *testing.T) {
+	m := DefaultModel()
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		tot := m.Estimate(DefaultGeometry(n)).Total()
+		if tot <= prev {
+			t.Fatalf("area not increasing at %d entries: %.0f <= %.0f", n, tot, prev)
+		}
+		prev = tot
+	}
+}
+
+func TestPollackComparison(t *testing.T) {
+	m := DefaultModel()
+	e := m.Estimate(DefaultGeometry(16))
+	// Pollack predicts ~0.003% speedup for 0.006% area.
+	p := m.PollackSpeedup(e)
+	if p < 0.00002 || p > 0.00004 {
+		t.Errorf("Pollack speedup %.6f, want ~0.00003", p)
+	}
+	// "over 140x greater" with the measured 0.43%.
+	adv := m.PollackAdvantage(e, 0.0043)
+	if adv < 140 || adv > 180 {
+		t.Errorf("Pollack advantage %.0fx, want ~150x", adv)
+	}
+}
+
+func TestLRUBits(t *testing.T) {
+	cases := []struct{ entries, want int }{{1, 1}, {2, 1}, {4, 2}, {16, 4}, {32, 5}, {33, 6}}
+	for _, c := range cases {
+		if got := (Geometry{Entries: c.entries}).LRUBits(); got != c.want {
+			t.Errorf("LRUBits(%d) = %d, want %d", c.entries, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package buddy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mallacc/internal/cachesim"
+	"mallacc/internal/cpu"
+	"mallacc/internal/mem"
+	"mallacc/internal/stats"
+)
+
+func newHeap(v Variant) *Heap {
+	h := New(mem.NewDefaultSpace())
+	h.Variant = v
+	return h
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := []struct {
+		size  uint64
+		order uint
+	}{
+		{1, 4}, {16, 4}, {17, 5}, {32, 5}, {100, 7}, {128, 7}, {4096, 12},
+	}
+	for _, c := range cases {
+		if got := OrderFor(c.size); got != c.order {
+			t.Errorf("OrderFor(%d) = %d, want %d", c.size, got, c.order)
+		}
+	}
+}
+
+func TestSplitAndCoalesceRoundTrip(t *testing.T) {
+	h := newHeap(Software)
+	a := h.Malloc(100) // order 7 out of a maximal block: full split cascade
+	if h.Stats.Splits != MaxOrder-7 {
+		t.Fatalf("splits = %d, want %d", h.Stats.Splits, MaxOrder-7)
+	}
+	h.Free(a)
+	if h.Stats.Merges != MaxOrder-7 {
+		t.Fatalf("merges = %d, want %d (full re-coalesce)", h.Stats.Merges, MaxOrder-7)
+	}
+	if len(h.free[MaxOrder]) != 1 {
+		t.Fatal("heap did not return to one maximal block")
+	}
+	h.CheckInvariants()
+}
+
+func TestBuddiesAreDisjoint(t *testing.T) {
+	h := newHeap(Software)
+	rng := stats.NewRNG(5)
+	type blk struct{ a, sz uint64 }
+	var live []blk
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && rng.Bernoulli(0.45) {
+			k := rng.Intn(len(live))
+			h.Free(live[k].a)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(1 + rng.Intn(5000))
+		a := h.Malloc(size)
+		rounded := uint64(1) << OrderFor(size)
+		for _, b := range live {
+			if a < b.a+b.sz && b.a < a+rounded {
+				t.Fatalf("overlap at %#x", a)
+			}
+		}
+		live = append(live, blk{a, rounded})
+	}
+	h.CheckInvariants()
+}
+
+func TestFragmentationIsPowerOfTwoPenalty(t *testing.T) {
+	h := newHeap(Software)
+	// 65-byte requests round to 128: exactly 1.97x overhead.
+	for i := 0; i < 100; i++ {
+		h.Malloc(65)
+	}
+	f := h.Stats.InternalFragmentation()
+	if f < 1.9 || f > 2.0 {
+		t.Fatalf("fragmentation %.2f, want ~1.97", f)
+	}
+}
+
+func TestHardwareVariantFasterThanSoftware(t *testing.T) {
+	measure := func(v Variant) float64 {
+		h := newHeap(v)
+		c := cpu.New(cpu.DefaultConfig(), cachesim.NewDefaultHierarchy())
+		// Warm.
+		for i := 0; i < 64; i++ {
+			h.Em.Reset()
+			a := h.Malloc(64)
+			c.RunTrace(h.Em.Trace())
+			h.Em.Reset()
+			h.Free(a)
+			c.RunTrace(h.Em.Trace())
+		}
+		var tot uint64
+		const n = 1000
+		for i := 0; i < n; i++ {
+			h.Em.Reset()
+			a := h.Malloc(64)
+			tot += c.RunTrace(h.Em.Trace())
+			h.Em.Reset()
+			h.Free(a)
+			c.RunTrace(h.Em.Trace())
+		}
+		return float64(tot) / n
+	}
+	sw, hw := measure(Software), measure(Hardware)
+	t.Logf("buddy malloc: software %.1f cycles, hardware %.1f cycles", sw, hw)
+	if hw >= sw {
+		t.Fatalf("hardware buddy (%.1f) not faster than software (%.1f)", hw, sw)
+	}
+	if hw > 12 {
+		t.Errorf("hardware buddy %.1f cycles; the cited designs are combinational", hw)
+	}
+}
+
+func TestBuddyFuzz(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := newHeap(Hardware)
+		rng := stats.NewRNG(seed)
+		var live []uint64
+		for i := 0; i < 500; i++ {
+			if len(live) > 0 && rng.Bernoulli(0.5) {
+				k := rng.Intn(len(live))
+				h.Free(live[k])
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			live = append(live, h.Malloc(uint64(1+rng.Intn(100000))))
+		}
+		for _, a := range live {
+			h.Free(a)
+		}
+		h.CheckInvariants()
+		// Everything freed: the heap must coalesce back to maximal
+		// blocks only.
+		for o := uint(MinOrder); o < MaxOrder; o++ {
+			if len(h.free[o]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowOnExhaustion(t *testing.T) {
+	h := newHeap(Hardware)
+	var live []uint64
+	// Two maximal-block allocations force a grow.
+	live = append(live, h.Malloc(1<<MaxOrder))
+	live = append(live, h.Malloc(1<<MaxOrder))
+	if h.Stats.Grows < 2 {
+		t.Fatalf("grows = %d", h.Stats.Grows)
+	}
+	for _, a := range live {
+		h.Free(a)
+	}
+	h.CheckInvariants()
+}

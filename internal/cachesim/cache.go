@@ -1,0 +1,208 @@
+// Package cachesim models the data-side memory hierarchy of the simulated
+// Haswell-like core: a set-associative, LRU, inclusive L1D/L2/L3 cache
+// stack, a data TLB with a page-walk penalty, and the antagonist eviction
+// callback the paper's `antagonist` microbenchmark uses ("evicts the less
+// used half of each set of the L1 and L2 data caches").
+//
+// Timing and state are deliberately simple — single fixed latency per
+// level, no MSHR limits, no bandwidth modeling — matching the granularity
+// at which the paper reasons about fast-path costs (an L1 hit is ~4 cycles,
+// an L3 hit ~34-36, a DRAM access ~200).
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name appears in statistics output.
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineShift is log2 of the line (or page, for TLBs) size.
+	LineShift uint
+	// Latency is the hit latency in cycles.
+	Latency uint64
+}
+
+// Stats counts accesses per cache.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns the miss ratio in [0, 1].
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// Cache is one set-associative level with true-LRU replacement implemented
+// via per-line access stamps.
+type Cache struct {
+	cfg   Config
+	sets  int
+	tags  []uint64 // sets*ways; line number (addr >> LineShift), valid bit packed separately
+	valid []bool
+	stamp []uint64 // LRU stamps
+	clock uint64
+	Stats Stats
+}
+
+// New builds a cache from cfg, validating the geometry.
+func New(cfg Config) *Cache {
+	line := 1 << cfg.LineShift
+	if cfg.SizeBytes%(line*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cachesim: %s size %d not divisible by ways*line", cfg.Name, cfg.SizeBytes))
+	}
+	sets := cfg.SizeBytes / (line * cfg.Ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cachesim: %s set count %d not a power of two", cfg.Name, sets))
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		stamp: make([]uint64, n),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Latency returns the hit latency.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// line returns the line number and set index for an address.
+func (c *Cache) line(addr uint64) (ln uint64, set int) {
+	ln = addr >> c.cfg.LineShift
+	return ln, int(ln) & (c.sets - 1)
+}
+
+// Lookup probes for addr without modifying contents, updating LRU and stats
+// on a hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	ln, set := c.line(addr)
+	base := set * c.cfg.Ways
+	c.clock++
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == ln {
+			c.stamp[i] = c.clock
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Insert fills addr's line, evicting LRU if needed. It returns the evicted
+// line number and whether an eviction occurred (for inclusive back-
+// invalidation).
+func (c *Cache) Insert(addr uint64) (evicted uint64, wasEvicted bool) {
+	ln, set := c.line(addr)
+	base := set * c.cfg.Ways
+	c.clock++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == ln {
+			c.stamp[i] = c.clock // already present
+			return 0, false
+		}
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+		} else if c.stamp[i] < oldest {
+			victim = i
+			oldest = c.stamp[i]
+		}
+	}
+	wasEvicted = c.valid[victim]
+	evicted = c.tags[victim]
+	c.tags[victim] = ln
+	c.valid[victim] = true
+	c.stamp[victim] = c.clock
+	return evicted, wasEvicted
+}
+
+// InvalidateLine removes a line (by line number) if present.
+func (c *Cache) InvalidateLine(ln uint64) {
+	set := int(ln) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == ln {
+			c.valid[i] = false
+			return
+		}
+	}
+}
+
+// Contains probes without any side effects (no LRU or stats update).
+func (c *Cache) Contains(addr uint64) bool {
+	ln, set := c.line(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictLRUHalf invalidates the least-recently-used half of every set. This
+// is the simulator callback the antagonist microbenchmark invokes after
+// each allocation (Sec. 5).
+func (c *Cache) EvictLRUHalf() {
+	half := c.cfg.Ways / 2
+	for set := 0; set < c.sets; set++ {
+		base := set * c.cfg.Ways
+		for k := 0; k < half; k++ {
+			victim, oldest := -1, ^uint64(0)
+			for w := 0; w < c.cfg.Ways; w++ {
+				i := base + w
+				if c.valid[i] && c.stamp[i] < oldest {
+					victim, oldest = i, c.stamp[i]
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			c.valid[victim] = false
+		}
+	}
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Occupancy returns the fraction of valid lines, for tests and reports.
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.valid))
+}

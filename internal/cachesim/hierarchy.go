@@ -1,0 +1,121 @@
+package cachesim
+
+// HierarchyConfig sizes the full data-side hierarchy. Defaults follow the
+// Haswell configuration the paper simulates with XIOSim.
+type HierarchyConfig struct {
+	L1D, L2, L3 Config
+	DTLB        Config
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency uint64
+	// TLBWalkLatency is the page-walk penalty added on a dTLB miss.
+	TLBWalkLatency uint64
+}
+
+// DefaultHierarchyConfig returns the Haswell-like defaults: 32 KiB/8-way
+// L1D at 4 cycles, 256 KiB/8-way L2 at 12 cycles, 8 MiB/16-way L3 at 36
+// cycles (the paper quotes 34 for Haswell), 200-cycle DRAM, and a 64-entry
+// 4-way dTLB over 4 KiB pages with a 30-cycle walk.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:            Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LineShift: 6, Latency: 4},
+		L2:             Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LineShift: 6, Latency: 12},
+		L3:             Config{Name: "L3", SizeBytes: 8 << 20, Ways: 16, LineShift: 6, Latency: 36},
+		DTLB:           Config{Name: "dTLB", SizeBytes: 64 << 12, Ways: 4, LineShift: 12, Latency: 0}, // 64 entries over 4 KiB pages
+		MemLatency:     200,
+		TLBWalkLatency: 30,
+	}
+}
+
+// Hierarchy is the inclusive three-level data cache plus dTLB.
+type Hierarchy struct {
+	L1D, L2, L3 *Cache
+	DTLB        *Cache
+	cfg         HierarchyConfig
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1D:  New(cfg.L1D),
+		L2:   New(cfg.L2),
+		L3:   New(cfg.L3),
+		DTLB: New(cfg.DTLB),
+		cfg:  cfg,
+	}
+}
+
+// NewDefaultHierarchy builds the Haswell-like hierarchy.
+func NewDefaultHierarchy() *Hierarchy { return NewHierarchy(DefaultHierarchyConfig()) }
+
+// Load accesses addr and returns the latency in cycles, updating all cache
+// state (fills on miss, inclusive).
+func (h *Hierarchy) Load(addr uint64) uint64 {
+	lat := h.tlb(addr)
+	switch {
+	case h.L1D.Lookup(addr):
+		lat += h.L1D.Latency()
+	case h.L2.Lookup(addr):
+		lat += h.L2.Latency()
+		h.fill1(addr)
+	case h.L3.Lookup(addr):
+		lat += h.L3.Latency()
+		h.fill1(addr)
+		h.L2.Insert(addr)
+	default:
+		lat += h.cfg.MemLatency
+		h.fillAll(addr)
+	}
+	return lat
+}
+
+// Store performs a write-allocate access; the returned latency is the time
+// to ownership, though the core's senior store queue hides it from commit.
+func (h *Hierarchy) Store(addr uint64) uint64 { return h.Load(addr) }
+
+// Prefetch fetches addr like a load and returns the time until data is
+// available.
+func (h *Hierarchy) Prefetch(addr uint64) uint64 { return h.Load(addr) }
+
+// Touch simulates an application access for cache-pressure purposes without
+// caring about latency.
+func (h *Hierarchy) Touch(addr uint64) { h.Load(addr) }
+
+// tlb returns the translation penalty for addr (0 on a dTLB hit).
+func (h *Hierarchy) tlb(addr uint64) uint64 {
+	if h.DTLB.Lookup(addr) {
+		return 0
+	}
+	h.DTLB.Insert(addr)
+	return h.cfg.TLBWalkLatency
+}
+
+func (h *Hierarchy) fill1(addr uint64) {
+	h.L1D.Insert(addr)
+}
+
+func (h *Hierarchy) fillAll(addr uint64) {
+	h.L1D.Insert(addr)
+	h.L2.Insert(addr)
+	if evicted, ok := h.L3.Insert(addr); ok {
+		// Inclusive L3: back-invalidate inner copies of the victim.
+		// Line numbers differ per level only if line sizes differ; all
+		// levels use 64-byte lines here.
+		h.L2.InvalidateLine(evicted)
+		h.L1D.InvalidateLine(evicted)
+	}
+}
+
+// Antagonize evicts the LRU half of each L1D and L2 set, emulating a
+// cache-hungry application region between allocator calls.
+func (h *Hierarchy) Antagonize() {
+	h.L1D.EvictLRUHalf()
+	h.L2.EvictLRUHalf()
+}
+
+// FlushAll invalidates every level including the TLB (context switch).
+func (h *Hierarchy) FlushAll() {
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.L3.Flush()
+	h.DTLB.Flush()
+}

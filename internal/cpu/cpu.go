@@ -1,0 +1,586 @@
+// Package cpu implements the trace-driven out-of-order core timing model
+// that stands in for XIOSim in this reproduction. It consumes the micro-op
+// traces emitted by the instrumented allocator (package uop) and charges
+// cycles against a Haswell-like machine: 4-wide fetch and commit, 8-wide
+// issue with per-port limits, a 192-entry reorder buffer, a branch
+// predictor with a fixed redirect penalty, senior-store-queue semantics for
+// stores and Mallacc prefetches, and a data cache hierarchy (package
+// cachesim) for load latencies.
+//
+// The scheduling algorithm is a single in-program-order pass that computes,
+// for every micro-op, its fetch, issue, completion and commit cycles under
+// dataflow, bandwidth, port, ROB and fetch-redirect constraints — a greedy
+// list schedule that closely tracks what an ideal out-of-order window would
+// do on traces of fast-path length (tens to a few thousand micro-ops).
+//
+// The limit study of the paper ("instructions ... are simply ignored by
+// performance simulation") is reproduced by DropSteps: micro-ops whose step
+// tag is dropped consume no fetch slots, ports, or latency, and forward
+// their inputs with zero delay.
+package cpu
+
+import (
+	"mallacc/internal/cachesim"
+	"mallacc/internal/uop"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	// MispredictPenalty is the fetch-redirect cost of a mispredicted
+	// branch, in cycles from branch resolution.
+	MispredictPenalty uint64
+	// Port counts per class of execution resource.
+	LoadPorts   int
+	StorePorts  int
+	ALUPorts    int
+	BranchPorts int
+	// MallaccPorts bounds concurrent malloc-cache operations (the cache
+	// has a single access port in the paper's design).
+	MallaccPorts int
+	// MSHRs bounds outstanding L1 misses (line-fill buffers): loads,
+	// stores and prefetches that miss L1 each occupy one from issue until
+	// the fill returns. This is what makes cold bursts — span carving,
+	// radix-tree walks — cost realistically instead of pipelining
+	// arbitrarily deep into DRAM. Haswell has 10 LFBs.
+	MSHRs int
+	// DropSteps marks step tags to ignore in timing (limit study /
+	// Figure 4 ablations).
+	DropSteps [uop.NumSteps]bool
+	// NoPrefetchBlocking ablates the rule that a malloc-cache entry with
+	// an outstanding mcnxtprefetch blocks pops and pushes (Sec. 4.1 —
+	// required for consistency in hardware; ablating it quantifies the tp
+	// slowdown the rule causes).
+	NoPrefetchBlocking bool
+	// Latencies per kind; loads are dynamic through the cache hierarchy.
+	ALULat, IMulLat, BranchLat     uint64
+	McLookupLat, McUpdateLat       uint64
+	McPopLat, McPushLat, McPrefLat uint64
+	// McPrefTransferLat is the extra time for a prefetched value to make
+	// its way from the cache hierarchy into the malloc cache ("treated in
+	// a virtually identical manner to a store ... waits for an
+	// acknowledgment", Sec. 4.1); the entry stays blocked for it.
+	McPrefTransferLat uint64
+}
+
+// DefaultConfig returns the Haswell-like configuration used throughout the
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		IssueWidth:        8,
+		CommitWidth:       4,
+		ROBSize:           192,
+		MispredictPenalty: 14,
+		LoadPorts:         2,
+		StorePorts:        1,
+		ALUPorts:          4,
+		BranchPorts:       2,
+		MallaccPorts:      1,
+		MSHRs:             10,
+		ALULat:            1,
+		IMulLat:           3,
+		BranchLat:         1,
+		McLookupLat:       1,
+		McUpdateLat:       1,
+		McPopLat:          1,
+		McPushLat:         1,
+		McPrefLat:         1,
+		McPrefTransferLat: 16,
+	}
+}
+
+// Stats aggregates retirement statistics across calls.
+type Stats struct {
+	Calls       uint64
+	Uops        uint64
+	Cycles      uint64
+	Mispredicts uint64
+	Branches    uint64
+}
+
+// IPC returns retired micro-ops per cycle across all simulated calls.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Uops) / float64(s.Cycles)
+}
+
+// portClass buckets kinds onto execution resources.
+type portClass uint8
+
+const (
+	portALU portClass = iota
+	portLoad
+	portStore
+	portBranch
+	portMallacc
+	portNone
+	numPortClasses
+)
+
+func classOf(k uop.Kind) portClass {
+	switch k {
+	case uop.ALU, uop.IMul:
+		return portALU
+	case uop.Load, uop.SWPrefetch:
+		return portLoad
+	case uop.Store:
+		return portStore
+	case uop.Branch:
+		return portBranch
+	case uop.McSzLookup, uop.McSzUpdate, uop.McHdPop, uop.McHdPush, uop.McNxtPrefetch:
+		return portMallacc
+	default:
+		return portNone
+	}
+}
+
+// Core is the timing model plus its persistent microarchitectural state
+// (branch predictor, cache hierarchy, malloc-cache entry blocking, global
+// clock).
+type Core struct {
+	cfg   Config
+	mem   *cachesim.Hierarchy
+	bp    *BranchPredictor
+	cycle uint64
+	Stats Stats
+
+	// entryReady holds, per malloc-cache entry, the cycle at which an
+	// outstanding mcnxtprefetch returns; pops/pushes to a blocked entry
+	// stall until then (Sec. 4.1).
+	entryReady map[int16]uint64
+
+	// mshr holds the fill-completion cycle of each line-fill buffer; a
+	// miss must find a slot whose previous fill has completed.
+	mshr []uint64
+
+	// analytic selects the dependence-graph reference model.
+	analytic bool
+
+	// Per-call scratch, reused across calls.
+	fetchC, doneC, commitC []uint64
+	portUse                [numPortClasses]map[uint64]int
+	fetchUse               map[uint64]int
+	commitUse              map[uint64]int
+}
+
+// New builds a core over the given cache hierarchy.
+func New(cfg Config, mem *cachesim.Hierarchy) *Core {
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 10
+	}
+	c := &Core{
+		cfg:        cfg,
+		mem:        mem,
+		bp:         NewBranchPredictor(),
+		entryReady: make(map[int16]uint64),
+		fetchUse:   make(map[uint64]int),
+		commitUse:  make(map[uint64]int),
+		mshr:       make([]uint64, cfg.MSHRs),
+	}
+	for i := range c.portUse {
+		c.portUse[i] = make(map[uint64]int)
+	}
+	return c
+}
+
+// Memory exposes the cache hierarchy (for antagonist callbacks and stats).
+func (c *Core) Memory() *cachesim.Hierarchy { return c.mem }
+
+// Config returns the active configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// SetDropSteps replaces the dropped-step set (ablation control).
+func (c *Core) SetDropSteps(drop [uop.NumSteps]bool) { c.cfg.DropSteps = drop }
+
+// Cycle returns the global clock.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// AdvanceApp models application execution between allocator calls: it
+// advances the clock by cycles and applies the application's cache
+// footprint.
+func (c *Core) AdvanceApp(cycles uint64, touches []uint64) {
+	c.cycle += cycles
+	for _, a := range touches {
+		c.mem.Touch(a)
+	}
+}
+
+// ContextSwitch flushes the malloc-cache blocking state; the caller is
+// responsible for flushing the malloc cache itself and, if desired, the
+// data caches.
+func (c *Core) ContextSwitch() {
+	clear(c.entryReady)
+}
+
+func (c *Core) portCount(p portClass) int {
+	switch p {
+	case portALU:
+		return c.cfg.ALUPorts
+	case portLoad:
+		return c.cfg.LoadPorts
+	case portStore:
+		return c.cfg.StorePorts
+	case portBranch:
+		return c.cfg.BranchPorts
+	case portMallacc:
+		return c.cfg.MallaccPorts
+	default:
+		return 1 << 30
+	}
+}
+
+// mshrFind returns the earliest cycle >= want at which a line-fill buffer
+// is free, and which slot to use. The caller reserves the slot once the
+// final issue cycle is known.
+func (c *Core) mshrFind(want uint64) (uint64, int) {
+	bestIdx, bestEnd := 0, ^uint64(0)
+	for i, end := range c.mshr {
+		if end <= want {
+			return want, i
+		}
+		if end < bestEnd {
+			bestIdx, bestEnd = i, end
+		}
+	}
+	return bestEnd, bestIdx
+}
+
+// reserve finds the first cycle >= want with a free slot in usage (limit
+// slots per cycle) and records the reservation.
+func reserve(usage map[uint64]int, want uint64, limit int) uint64 {
+	cy := want
+	for usage[cy] >= limit {
+		cy++
+	}
+	usage[cy]++
+	return cy
+}
+
+func (c *Core) fixedLatency(op *uop.UOp) uint64 {
+	if op.LatOverride != 0 {
+		return uint64(op.LatOverride)
+	}
+	switch op.Kind {
+	case uop.ALU:
+		return c.cfg.ALULat
+	case uop.IMul:
+		return c.cfg.IMulLat
+	case uop.Branch:
+		return c.cfg.BranchLat
+	case uop.McSzLookup:
+		return c.cfg.McLookupLat
+	case uop.McSzUpdate:
+		return c.cfg.McUpdateLat
+	case uop.McHdPop:
+		return c.cfg.McPopLat
+	case uop.McHdPush:
+		return c.cfg.McPushLat
+	case uop.McNxtPrefetch:
+		return c.cfg.McPrefLat
+	default:
+		return 0
+	}
+}
+
+// SetAnalytic switches the core to the analytical dependence-graph model:
+// no ports, widths, ROB, predictor or MSHRs — each micro-op completes when
+// its operands are ready plus its latency, bounded below by the commit-
+// width floor. It is the independent reference the detailed model is
+// validated against (Table 1); real hardware is unavailable in this
+// reproduction.
+func (c *Core) SetAnalytic(a bool) { c.analytic = a }
+
+// runAnalytic is the dependence-graph scheduler with ideal-machine
+// bandwidth bounds: each op issues no earlier than its fetch slot
+// (FetchWidth per cycle) and the call ends no earlier than the in-order
+// commit of the remaining ops (CommitWidth per cycle) — but there are no
+// ports, no ROB, no predictor and no MSHRs.
+func (c *Core) runAnalytic(ops []uop.UOp) uint64 {
+	start := c.cycle
+	doneC := c.doneC[:len(ops)]
+	var end uint64
+	slot, loadSlot, storeSlot := 0, 0, 0
+	// Fill-buffer bound: an L1 miss needs a free buffer; take the one
+	// that frees earliest.
+	missEnd := make([]uint64, c.cfg.MSHRs)
+	for i := range ops {
+		op := &ops[i]
+		ready := start
+		if op.Dep1 != uop.NoDep && doneC[op.Dep1] > ready {
+			ready = doneC[op.Dep1]
+		}
+		if op.Dep2 != uop.NoDep && doneC[op.Dep2] > ready {
+			ready = doneC[op.Dep2]
+		}
+		if c.cfg.DropSteps[op.Step] && !op.Kind.IsMallacc() {
+			doneC[i] = ready
+			continue
+		}
+		if f := start + uint64(slot/c.cfg.FetchWidth) + 1; f > ready {
+			ready = f
+		}
+		slot++
+		// Per-kind memory bandwidth bounds (load/store pipes).
+		switch op.Kind {
+		case uop.Load, uop.SWPrefetch:
+			if f := start + uint64(loadSlot/c.cfg.LoadPorts) + 1; f > ready {
+				ready = f
+			}
+			loadSlot++
+		case uop.Store:
+			if f := start + uint64(storeSlot/c.cfg.StorePorts) + 1; f > ready {
+				ready = f
+			}
+			storeSlot++
+		}
+		var lat, fill uint64
+		switch op.Kind {
+		case uop.Load:
+			lat = c.mem.Load(op.Addr)
+			fill = lat
+		case uop.Store:
+			fill = c.mem.Store(op.Addr)
+			lat = 1
+		case uop.SWPrefetch:
+			fill = c.mem.Prefetch(op.Addr)
+			lat = 1
+		case uop.McNxtPrefetch:
+			if op.Addr != 0 {
+				fill = c.mem.Prefetch(op.Addr)
+			}
+			lat = c.fixedLatency(op)
+		default:
+			lat = c.fixedLatency(op)
+		}
+		// Line-fill bandwidth bound: at most MSHRs concurrent fills.
+		if fill > c.mem.L1D.Latency() {
+			best, bestEnd := 0, missEnd[0]
+			for k := 1; k < len(missEnd); k++ {
+				if missEnd[k] < bestEnd {
+					best, bestEnd = k, missEnd[k]
+				}
+			}
+			if bestEnd > ready {
+				ready = bestEnd
+			}
+			missEnd[best] = ready + fill
+		}
+		doneC[i] = ready + lat
+		// In-order commit bound: everything after op i retires at
+		// CommitWidth per cycle once i completes.
+		if e := doneC[i] + uint64((len(ops)-1-i)/c.cfg.CommitWidth); e > end {
+			end = e
+		}
+		c.Stats.Uops++
+	}
+	dur := end - start
+	c.cycle = start + dur
+	c.Stats.Calls++
+	c.Stats.Cycles += dur
+	return dur
+}
+
+// RunTrace schedules one call trace starting at the current global clock
+// and returns the call's duration in cycles. Cache, predictor and
+// malloc-cache blocking state persist to the next call.
+func (c *Core) RunTrace(t uop.Trace) uint64 {
+	ops := t.Ops
+	n := len(ops)
+	if n == 0 {
+		return 0
+	}
+	if cap(c.fetchC) < n {
+		c.fetchC = make([]uint64, n)
+		c.doneC = make([]uint64, n)
+		c.commitC = make([]uint64, n)
+	}
+	if c.analytic {
+		return c.runAnalytic(ops)
+	}
+	fetchC := c.fetchC[:n]
+	doneC := c.doneC[:n]
+	commitC := c.commitC[:n]
+	for i := range c.portUse {
+		clear(c.portUse[i])
+	}
+	clear(c.fetchUse)
+	clear(c.commitUse)
+
+	start := c.cycle
+	redirect := start // earliest cycle fetch may proceed (branch redirects)
+	lastCommit := start
+
+	for i := 0; i < n; i++ {
+		op := &ops[i]
+		depReady := start
+		if op.Dep1 != uop.NoDep {
+			if d := doneC[op.Dep1]; d > depReady {
+				depReady = d
+			}
+		}
+		if op.Dep2 != uop.NoDep {
+			if d := doneC[op.Dep2]; d > depReady {
+				depReady = d
+			}
+		}
+
+		if c.cfg.DropSteps[op.Step] && !op.Kind.IsMallacc() {
+			// Ignored by timing: zero-latency forwarding, no resources.
+			fetchC[i] = redirect
+			doneC[i] = depReady
+			commitC[i] = lastCommit
+			continue
+		}
+
+		// Fetch: in order, FetchWidth per cycle, gated by redirects and
+		// ROB occupancy.
+		fWant := redirect
+		if i > 0 && fetchC[i-1] > fWant {
+			fWant = fetchC[i-1]
+		}
+		if i >= c.cfg.ROBSize {
+			if rc := commitC[i-c.cfg.ROBSize]; rc > fWant {
+				fWant = rc
+			}
+		}
+		fCy := reserve(c.fetchUse, fWant, c.cfg.FetchWidth)
+		fetchC[i] = fCy
+
+		// Ready to issue one cycle after dispatch, once operands ready.
+		ready := fCy + 1
+		if depReady > ready {
+			ready = depReady
+		}
+		// Malloc-cache entry blocking for ordered list ops.
+		if !c.cfg.NoPrefetchBlocking && op.MCEntry >= 0 && (op.Kind == uop.McHdPop || op.Kind == uop.McHdPush) {
+			if r := c.entryReady[op.MCEntry]; r > ready {
+				ready = r
+			}
+		}
+
+		// Memory ops access the hierarchy now (state changes in program
+		// order); the returned latency also tells us whether this is an
+		// L1 miss needing a line-fill buffer.
+		var memLat uint64
+		switch op.Kind {
+		case uop.Load:
+			memLat = c.mem.Load(op.Addr)
+		case uop.Store:
+			memLat = c.mem.Store(op.Addr)
+		case uop.SWPrefetch:
+			memLat = c.mem.Prefetch(op.Addr)
+		case uop.McNxtPrefetch:
+			if op.MCEntry >= 0 && op.Addr != 0 {
+				memLat = c.mem.Prefetch(op.Addr)
+			}
+		}
+		isMiss := memLat > c.mem.L1D.Latency()
+		var mshrSlot int
+		if isMiss {
+			ready, mshrSlot = c.mshrFind(ready)
+		}
+
+		pc := classOf(op.Kind)
+		issue := ready
+		if pc != portNone {
+			issue = reserve(c.portUse[pc], ready, c.portCount(pc))
+		}
+		if isMiss {
+			c.mshr[mshrSlot] = issue + memLat
+		}
+
+		// Execute.
+		var done uint64
+		switch op.Kind {
+		case uop.Load:
+			done = issue + memLat
+		case uop.Store:
+			// Senior store queue: completes immediately; the fill happens
+			// in the background (it holds its MSHR until done).
+			done = issue + 1
+		case uop.SWPrefetch:
+			done = issue + 1
+		case uop.McNxtPrefetch:
+			done = issue + c.fixedLatency(op)
+			if op.MCEntry >= 0 {
+				ret := done
+				if memLat > 0 {
+					ret = issue + memLat
+				}
+				c.entryReady[op.MCEntry] = ret + c.cfg.McPrefTransferLat
+			}
+		case uop.Branch:
+			done = issue + c.fixedLatency(op)
+			c.Stats.Branches++
+			if c.bp.PredictAndUpdate(op.Site, op.Taken) != op.Taken {
+				c.Stats.Mispredicts++
+				if r := done + c.cfg.MispredictPenalty; r > redirect {
+					redirect = r
+				}
+			}
+		default:
+			done = issue + c.fixedLatency(op)
+		}
+		doneC[i] = done
+
+		// Commit: in order, CommitWidth per cycle.
+		cWant := done + 1
+		if op.Kind == uop.Store || op.Kind == uop.SWPrefetch || op.Kind == uop.McNxtPrefetch {
+			cWant = done // already marked complete at issue+1
+		}
+		if lastCommit > cWant {
+			cWant = lastCommit
+		}
+		cCy := reserve(c.commitUse, cWant, c.cfg.CommitWidth)
+		commitC[i] = cCy
+		lastCommit = cCy
+		c.Stats.Uops++
+	}
+
+	end := lastCommit
+	if end < start {
+		end = start
+	}
+	dur := end - start
+	c.cycle = end
+	c.Stats.Calls++
+	c.Stats.Cycles += dur
+	return dur
+}
+
+// BranchPredictor is a table of 2-bit saturating counters indexed by branch
+// site, standing in for a PC-indexed bimodal predictor. The paper notes the
+// fast path's branches are "easy to predict"; a bimodal table captures
+// that after warmup.
+type BranchPredictor struct {
+	table map[uint32]uint8
+}
+
+// NewBranchPredictor returns an empty predictor (counters start weakly
+// not-taken).
+func NewBranchPredictor() *BranchPredictor {
+	return &BranchPredictor{table: make(map[uint32]uint8)}
+}
+
+// PredictAndUpdate returns the prediction for site and trains the counter
+// with the actual outcome.
+func (b *BranchPredictor) PredictAndUpdate(site uint32, taken bool) bool {
+	ctr, ok := b.table[site]
+	if !ok {
+		ctr = 1
+	}
+	pred := ctr >= 2
+	if taken && ctr < 3 {
+		ctr++
+	} else if !taken && ctr > 0 {
+		ctr--
+	}
+	b.table[site] = ctr
+	return pred
+}

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"testing"
+
+	"mallacc/internal/workload"
+)
+
+func TestRunVariantsOnKeyWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	names := []string{"ubench.tp_small", "ubench.antagonist", "xapian.pages", "483.xalancbmk", "masstree.same", "400.perlbench"}
+	for _, name := range names {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: 20000, Seed: 3})
+		mall := Run(Options{Workload: w, Variant: VariantMallacc, Calls: 20000, Seed: 3})
+		lim := Run(Options{Workload: w, Variant: VariantLimit, Calls: 20000, Seed: 3})
+		impAll := 100 * (1 - float64(mall.AllocatorCycles())/float64(base.AllocatorCycles()))
+		impLim := 100 * (1 - float64(lim.AllocatorCycles())/float64(base.AllocatorCycles()))
+		impM := 100 * (1 - float64(mall.MallocCycles)/float64(base.MallocCycles))
+		t.Logf("%-18s alloc-frac=%5.1f%% fast-malloc base=%5.1f mall=%5.1f | alloc-time imp: mallacc=%5.1f%% limit=%5.1f%% | malloc-time imp=%5.1f%%",
+			name, 100*base.AllocatorFraction(), base.MeanFastMallocCycles(), mall.MeanFastMallocCycles(), impAll, impLim, impM)
+		if impAll <= -5 {
+			t.Errorf("%s: Mallacc slowed the allocator down by %.1f%%", name, -impAll)
+		}
+		if base.MallocCalls == 0 || base.TotalCycles == 0 {
+			t.Errorf("%s: empty run", name)
+		}
+	}
+}

@@ -1,0 +1,521 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"mallacc/internal/area"
+	"mallacc/internal/stats"
+	"mallacc/internal/uop"
+	"mallacc/internal/workload"
+)
+
+// ExpOptions scales the experiment suite.
+type ExpOptions struct {
+	// Calls is the allocator-call budget per run (default 60000).
+	Calls int
+	// Seeds is the repetition count for the significance study (Table 2,
+	// default 6).
+	Seeds int
+	// Seed is the base RNG seed.
+	Seed uint64
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.Calls <= 0 {
+		o.Calls = 60000
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment is one reproducible figure or table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ExpOptions) *Report
+}
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Cost distribution of TCMalloc pools (400.perlbench)", Figure1},
+		{"fig2", "CDF of malloc time vs call duration (macro workloads)", Figure2},
+		{"table1", "Simulator validation on malloc microbenchmarks", Table1},
+		{"fig4", "Fast-path cycle breakdown (microbenchmark ablations)", Figure4},
+		{"fig6", "Size classes used per workload (CDF)", Figure6},
+		{"fig13", "Improvement of time spent in the allocator", Figure13},
+		{"fig14", "Improvement of time spent in malloc() calls", Figure14},
+		{"fig15", "xapian.pages malloc duration distribution", Figure15},
+		{"fig16", "483.xalancbmk malloc duration distribution", Figure16},
+		{"fig17", "Effect of malloc cache size on malloc speedup", Figure17},
+		{"fig18", "Fraction of time spent in the allocator", Figure18},
+		{"table2", "Full program speedup with significance test", Table2},
+		{"area", "Mallacc area cost and Pollack's Rule comparison", Area},
+		{"ablation", "Design-decision ablations (extension)", Ablation},
+		{"crossalloc", "Mallacc across allocator substrates (extension)", CrossAlloc},
+		{"ctxswitch", "Mallacc under context switches (extension)", CtxSwitch},
+		{"frag", "Memory footprint vs live bytes (extension)", Frag},
+		{"buddy", "Hardware buddy allocator tradeoff (extension)", Buddy},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func mustWorkload(name string) workload.Workload {
+	w, ok := workload.ByName(name)
+	if !ok {
+		panic("harness: unknown workload " + name)
+	}
+	return w
+}
+
+// Figure1 reproduces the three-peak time-in-calls PDF for perlbench:
+// thread-cache hits around tens of cycles, central-list refills around
+// 10^3, and span/page-allocator work around 10^4+.
+func Figure1(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	r := Run(Options{Workload: mustWorkload("400.perlbench"), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+	rep := &Report{ID: "fig1", Title: "Time in malloc calls by duration, 400.perlbench (baseline)"}
+	rep.Notes = append(rep.Notes,
+		"paper: three peaks — fast path, central free list, page allocator; miss >= 3 orders of magnitude costlier than a hit",
+		fmt.Sprintf("calls=%d mean=%.1f cycles median=%.1f cycles", r.MallocHist.N(), r.MallocHist.MeanCycles(), r.MallocHist.MedianCycles()))
+	rep.Lines = append(rep.Lines, "duration(cycles)      time-in-calls")
+	rep.Lines = append(rep.Lines, renderHistRows(r, 44)...)
+	return rep
+}
+
+func renderHistRows(r *Result, width int) []string {
+	bs := logBuckets(r)
+	var peak float64
+	for _, b := range bs {
+		if b.TimePct > peak {
+			peak = b.TimePct
+		}
+	}
+	out := make([]string, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, fmt.Sprintf("%8d-%-8d %6.2f%% |%s", b.Lo, b.Hi, b.TimePct, bar(b.TimePct, peak, width)))
+	}
+	return out
+}
+
+func logBuckets(r *Result) []stats.Bucket {
+	// Coalesce to power-of-two buckets for display.
+	byExp := map[int]*stats.Bucket{}
+	for _, b := range r.MallocHist.Buckets() {
+		exp := 0
+		for v := b.Lo; v > 1; v >>= 1 {
+			exp++
+		}
+		agg, ok := byExp[exp]
+		if !ok {
+			agg = &stats.Bucket{Lo: 1 << uint(exp), Hi: 1 << uint(exp+1)}
+			byExp[exp] = agg
+		}
+		agg.Count += b.Count
+		agg.Cycles += b.Cycles
+	}
+	exps := make([]int, 0, len(byExp))
+	for e := range byExp {
+		exps = append(exps, e)
+	}
+	sort.Ints(exps)
+	total := r.MallocHist.TotalCycles()
+	out := make([]stats.Bucket, 0, len(exps))
+	for _, e := range exps {
+		b := *byExp[e]
+		if total > 0 {
+			b.TimePct = 100 * float64(b.Cycles) / float64(total)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Figure2 reports, per macro workload, the cumulative share of malloc time
+// spent in calls below duration thresholds; the paper's headline is that
+// most workloads spend >60% of malloc time on sub-100-cycle calls.
+func Figure2(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig2", Title: "CDF of time in malloc by call duration (baseline)"}
+	rep.Notes = append(rep.Notes, "paper: >60% of malloc time below 100 cycles for SPEC; masstree perf tests >30% on the fast path")
+	tb := &table{header: []string{"workload", "<32cy", "<100cy", "<1k", "<10k", "<100k"}}
+	for _, w := range workload.Macro() {
+		r := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		tb.addRow(w.Name(),
+			pct(r.MallocHist.TimeCDFBelow(32)),
+			pct(r.MallocHist.TimeCDFBelow(100)),
+			pct(r.MallocHist.TimeCDFBelow(1000)),
+			pct(r.MallocHist.TimeCDFBelow(10000)),
+			pct(r.MallocHist.TimeCDFBelow(100000)))
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// table1Benchmarks lists the microbenchmarks of the validation table with
+// the paper's published native anchors where one exists (tp_small averages
+// 18 cycles on real Haswell, Sec. 3.2; the fast path spans 18-20 cycles,
+// Sec. 3.3). antagonist is omitted, exactly as in the paper ("it uses a
+// simulator callback ... and does not run natively").
+var table1Benchmarks = []struct {
+	name   string
+	anchor float64 // 0 = no published number
+}{
+	{"ubench.gauss", 0},
+	{"ubench.gauss_free", 0},
+	{"ubench.tp", 0},
+	{"ubench.tp_small", 18.0},
+	{"ubench.sized_deletes", 0},
+}
+
+// Table1 validates the detailed out-of-order timing model. The paper
+// validates XIOSim against a real Haswell (mean error 6.28%); silicon is
+// unavailable here, so the reference is the independent dependence-graph
+// analytical model (no ports, widths, predictor, ROB or MSHRs — the same
+// micro-op traces scheduled by dataflow alone), with the paper's published
+// native anchors quoted where they exist. See EXPERIMENTS.md.
+func Table1(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "table1", Title: "Simulator validation on malloc microbenchmarks"}
+	rep.Notes = append(rep.Notes,
+		"paper: per-benchmark cycle error 3.7-12.3% vs real Haswell, average 6.28%",
+		"here: detailed OoO model vs the dependence-graph analytical reference (no silicon available)")
+	tb := &table{header: []string{"benchmark", "analytic(cyc)", "detailed(cyc)", "error", "paper-native(cyc)"}}
+	var errSum float64
+	for _, c := range table1Benchmarks {
+		det := Run(Options{Workload: mustWorkload(c.name), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		ana := Run(Options{Workload: mustWorkload(c.name), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed, AnalyticCPU: true})
+		d, a := det.MeanMallocCycles(), ana.MeanMallocCycles()
+		e := 100 * abs(d-a) / a
+		errSum += e
+		anchor := "-"
+		if c.anchor > 0 {
+			anchor = fmt.Sprintf("%.1f", c.anchor)
+		}
+		tb.addRow(c.name, fmt.Sprintf("%.1f", a), fmt.Sprintf("%.1f", d), pct(e), anchor)
+	}
+	tb.addRow("Average", "", "", pct(errSum/float64(len(table1Benchmarks))), "")
+	rep.Lines = tb.render()
+	return rep
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Figure4 reproduces the fast-path component breakdown: for each
+// microbenchmark, the average fast-path malloc latency with each step's
+// instructions ignored by timing, and with all three removed (Combined).
+func Figure4(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig4", Title: "Fast-path cycles by component (timing-ablated steps)"}
+	rep.Notes = append(rep.Notes, "paper: the three components together account for ~50% of fast-path cycles")
+	tb := &table{header: []string{"benchmark", "baseline", "-sampling", "-sizeclass", "-push/pop", "combined", "combined save"}}
+	ablate := func(w workload.Workload, steps ...uop.Step) float64 {
+		var drop [uop.NumSteps]bool
+		for _, s := range steps {
+			drop[s] = true
+		}
+		r := Run(Options{Workload: w, Variant: VariantBaseline, UseDropSteps: true, DropSteps: drop, Calls: opt.Calls, Seed: opt.Seed})
+		return r.MeanFastMallocCycles()
+	}
+	for _, w := range workload.Micro() {
+		base := ablate(w)
+		noSamp := ablate(w, uop.StepSampling)
+		noSz := ablate(w, uop.StepSizeClass)
+		noPop := ablate(w, uop.StepPushPop)
+		comb := ablate(w, uop.StepSampling, uop.StepSizeClass, uop.StepPushPop)
+		save := 0.0
+		if base > 0 {
+			save = 100 * (base - comb) / base
+		}
+		tb.addRow(w.Name(),
+			fmt.Sprintf("%.1f", base), fmt.Sprintf("%.1f", noSamp), fmt.Sprintf("%.1f", noSz),
+			fmt.Sprintf("%.1f", noPop), fmt.Sprintf("%.1f", comb), pct(save))
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// Figure6 reports how many size classes cover 50/90/99% of malloc calls
+// per macro workload; the paper finds all but xalancbmk need <5 for 90%.
+func Figure6(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig6", Title: "Size classes used per workload (CDF of malloc calls)"}
+	rep.Notes = append(rep.Notes, "paper: all but one workload use <5 classes on 90% of calls; xalancbmk needs ~30; masstree ~1")
+	tb := &table{header: []string{"workload", "classes", "50%", "90%", "99%"}}
+	for _, w := range workload.Macro() {
+		r := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		counts := make([]uint64, 0, len(r.ClassCounts))
+		var total uint64
+		for _, c := range r.ClassCounts {
+			counts = append(counts, c)
+			total += c
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		cover := func(p float64) int {
+			target := p / 100 * float64(total)
+			acc := 0.0
+			for i, c := range counts {
+				acc += float64(c)
+				if acc >= target {
+					return i + 1
+				}
+			}
+			return len(counts)
+		}
+		tb.addRow(w.Name(), fmt.Sprintf("%d", len(counts)),
+			fmt.Sprintf("%d", cover(50)), fmt.Sprintf("%d", cover(90)), fmt.Sprintf("%d", cover(99)))
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// improvementRows runs baseline/mallacc/limit for every macro workload and
+// returns per-workload improvements of the chosen metric.
+func improvementRows(opt ExpOptions, metric func(*Result) float64) (names []string, mallacc, limit []float64) {
+	for _, w := range workload.Macro() {
+		base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		mall := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
+		lim := Run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
+		b := metric(base)
+		names = append(names, w.Name())
+		mallacc = append(mallacc, 100*(b-metric(mall))/b)
+		limit = append(limit, 100*(b-metric(lim))/b)
+	}
+	return names, mallacc, limit
+}
+
+// Figure13 reports the reduction of total allocator (malloc+free) time,
+// Mallacc vs the limit study, with a 32-entry malloc cache.
+func Figure13(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig13", Title: "Allocator (malloc+free) time improvement, 32-entry cache"}
+	rep.Notes = append(rep.Notes, "paper: average 18% achieved of 28% projected by the limit study")
+	tb := &table{header: []string{"workload", "mallacc", "limit", ""}}
+	names, mall, lim := improvementRows(opt, func(r *Result) float64 { return float64(r.AllocatorCycles()) })
+	for i := range names {
+		tb.addRow(names[i], pct(mall[i]), pct(lim[i]), bar(mall[i], 60, 30))
+	}
+	tb.addRow("Geomean", pct(geoImp(mall)), pct(geoImp(lim)), "")
+	rep.Lines = tb.render()
+	return rep
+}
+
+// geoImp computes the geometric-mean improvement from percent improvements
+// (via survival ratios, clamped for any negative entries).
+func geoImp(imps []float64) float64 {
+	ratios := make([]float64, len(imps))
+	for i, p := range imps {
+		r := 1 - p/100
+		if r <= 0.01 {
+			r = 0.01
+		}
+		ratios[i] = r
+	}
+	return 100 * (1 - stats.GeoMean(ratios))
+}
+
+// Figure14 reports the reduction of time spent in malloc() calls alone
+// (both fast and slow paths).
+func Figure14(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig14", Title: "malloc() time improvement, 32-entry cache"}
+	rep.Notes = append(rep.Notes, "paper: average near 30%, over 40% for xapian and xalancbmk")
+	tb := &table{header: []string{"workload", "mallacc", ""}}
+	names, mall, _ := improvementRows(opt, func(r *Result) float64 { return float64(r.MallocCycles) })
+	for i := range names {
+		tb.addRow(names[i], pct(mall[i]), bar(mall[i], 60, 30))
+	}
+	tb.addRow("Geomean", pct(geoImp(mall)), "")
+	rep.Lines = tb.render()
+	return rep
+}
+
+// durationComparison renders per-variant duration PDFs for one workload.
+func durationComparison(id, title, wname string, opt ExpOptions, note string) *Report {
+	rep := &Report{ID: id, Title: title}
+	rep.Notes = append(rep.Notes, note)
+	var results [3]*Result
+	for i, v := range []Variant{VariantBaseline, VariantLimit, VariantMallacc} {
+		results[i] = Run(Options{Workload: mustWorkload(wname), Variant: v, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("median malloc cycles: baseline=%.0f limit=%.0f mallacc=%.0f",
+		results[0].MallocHist.MedianCycles(), results[1].MallocHist.MedianCycles(), results[2].MallocHist.MedianCycles()))
+	tb := &table{header: []string{"duration", "baseline", "limit", "mallacc"}}
+	// Union of buckets across variants.
+	expSet := map[int]bool{}
+	pdfs := make([]map[int]float64, 3)
+	for i, r := range results {
+		pdfs[i] = map[int]float64{}
+		for _, b := range logBuckets(r) {
+			exp := 0
+			for v := b.Lo; v > 1; v >>= 1 {
+				exp++
+			}
+			expSet[exp] = true
+			pdfs[i][exp] = b.TimePct
+		}
+	}
+	exps := make([]int, 0, len(expSet))
+	for e := range expSet {
+		exps = append(exps, e)
+	}
+	sort.Ints(exps)
+	for _, e := range exps {
+		tb.addRow(fmt.Sprintf("%d-%d", 1<<uint(e), 1<<uint(e+1)),
+			pct(pdfs[0][e]), pct(pdfs[1][e]), pct(pdfs[2][e]))
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// Figure15 compares xapian.pages call-duration distributions across
+// configurations; the paper sees the median call drop from ~20-40 cycles
+// to 13, nearly matching the limit study.
+func Figure15(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	return durationComparison("fig15", "xapian.pages: time-in-calls PDF by variant", "xapian.pages", opt,
+		"paper: baseline calls cluster at 20-40 cycles; Mallacc median ~13, close to the limit study")
+}
+
+// Figure16 does the same for xalancbmk, which also gains from cache
+// isolation in the L3-latency region (20-70 cycles).
+func Figure16(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	return durationComparison("fig16", "483.xalancbmk: time-in-calls PDF by variant", "483.xalancbmk", opt,
+		"paper: fast spike improves like xapian; the 20-70 cycle (L3) region shrinks via cache isolation; slow calls unaffected")
+}
+
+// Figure17 sweeps the malloc cache size over the microbenchmarks,
+// reporting malloc-time speedup; undersized caches slow down (fallback +
+// lookup overhead), speedups jump once all of a benchmark's classes fit,
+// and tp exposes the prefetch-blocking slowdown.
+func Figure17(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig17", Title: "malloc speedup vs malloc cache size"}
+	rep.Notes = append(rep.Notes,
+		"paper: slowdowns when the cache is too small; inflection at 4/8/25 entries for tp_small/sized_deletes/tp; tp slowed by prefetch blocking; Gaussians level at ~12-13 (13 classes)")
+	sizes := []int{2, 4, 6, 8, 12, 16, 20, 24, 28, 32}
+	header := []string{"benchmark"}
+	for _, s := range sizes {
+		header = append(header, fmt.Sprintf("%d", s))
+	}
+	header = append(header, "limit")
+	tb := &table{header: header}
+	for _, w := range workload.Micro() {
+		base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		b := float64(base.MallocCycles)
+		row := []string{w.Name()}
+		for _, s := range sizes {
+			r := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: s, Calls: opt.Calls, Seed: opt.Seed})
+			row = append(row, pct(100*(b-float64(r.MallocCycles))/b))
+		}
+		lim := Run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
+		row = append(row, pct(100*(b-float64(lim.MallocCycles))/b))
+		tb.addRow(row...)
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// figure18WSC is the warehouse-scale-computer reference bar from Kanev et
+// al. (ISCA'15), quoted by the paper as "nearly 7%".
+const figure18WSC = 6.9
+
+// Figure18 reports the fraction of total execution time spent in the
+// allocator per workload, with the WSC fleet measurement for reference.
+func Figure18(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "fig18", Title: "Fraction of time spent in tcmalloc"}
+	rep.Notes = append(rep.Notes, "paper: WSC fleet ~7%; masstree.same 18.6%; SPEC/xapian mostly 1-5%")
+	tb := &table{header: []string{"workload", "fraction", ""}}
+	tb.addRow("WSC (Kanev et al.)", pct(figure18WSC), bar(figure18WSC, 20, 40))
+	for _, w := range workload.Macro() {
+		r := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		f := 100 * r.AllocatorFraction()
+		tb.addRow(w.Name(), pct(f), bar(f, 20, 40))
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// Table2 measures full-program speedup across seeds and applies the
+// one-sided paired t-test; workloads whose speedup is not significant at
+// 95% are flagged, mirroring the paper's reporting rule.
+func Table2(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{ID: "table2", Title: "Full program speedup (paired across seeds, one-sided t-test)"}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("paper: mean 0.43%%, max 0.78%% (perlbench); workloads failing the 95%% test omitted; %d seeds here", opt.Seeds))
+	tb := &table{header: []string{"workload", "speedup", "stddev", "p-value", "significant"}}
+	var sigSpeedups []float64
+	for _, w := range workload.Macro() {
+		var baseTotals, mallTotals, speedups []float64
+		for s := 0; s < opt.Seeds; s++ {
+			seed := opt.Seed + uint64(s)*7919
+			base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: seed})
+			mall := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: seed})
+			bt, mt := float64(base.TotalCycles), float64(mall.TotalCycles)
+			baseTotals = append(baseTotals, bt)
+			mallTotals = append(mallTotals, mt)
+			speedups = append(speedups, 100*(bt-mt)/bt)
+		}
+		tt := stats.OneSidedPairedT(baseTotals, mallTotals, 0.05)
+		mean := stats.MeanOf(speedups)
+		if tt.Significant {
+			sigSpeedups = append(sigSpeedups, mean)
+		}
+		tb.addRow(w.Name(), pct(mean), pct(stats.StdDevOf(speedups)),
+			fmt.Sprintf("%.4f", tt.P), fmt.Sprintf("%v", tt.Significant))
+	}
+	if len(sigSpeedups) > 0 {
+		tb.addRow("Mean (significant)", pct(stats.MeanOf(sigSpeedups)), "", "", "")
+	}
+	rep.Lines = tb.render()
+	return rep
+}
+
+// Area reports the Section 6.4 silicon cost model.
+func Area(ExpOptions) *Report {
+	rep := &Report{ID: "area", Title: "Mallacc area cost (28nm) and Pollack's Rule comparison"}
+	rep.Notes = append(rep.Notes, "paper: CAMs 873um2 + SRAM 346um2 + logic 265um2 ~= 1484um2 (<1500), 0.006% of a 26.5mm2 Haswell core, >140x Pollack")
+	m := area.DefaultModel()
+	tb := &table{header: []string{"entries", "bits/entry", "CAM(B)", "SRAM(B)", "CAM(um2)", "SRAM(um2)", "logic(um2)", "total(um2)", "% of core", "Pollack adv @0.43%"}}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		g := area.DefaultGeometry(n)
+		e := m.Estimate(g)
+		tb.addRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", g.BitsPerEntry()),
+			fmt.Sprintf("%d", g.CAMBytes()),
+			fmt.Sprintf("%d", g.SRAMBytes()),
+			fmt.Sprintf("%.0f", e.CAMArea),
+			fmt.Sprintf("%.0f", e.SRAMArea),
+			fmt.Sprintf("%.0f", e.LogicArea),
+			fmt.Sprintf("%.0f", e.Total()),
+			fmt.Sprintf("%.4f%%", 100*m.FractionOfCore(e)),
+			fmt.Sprintf("%.0fx", m.PollackAdvantage(e, 0.0043)),
+		)
+	}
+	rep.Lines = tb.render()
+	return rep
+}

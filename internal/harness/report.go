@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the renderable outcome of one experiment: a title, explanatory
+// header, and rows of pre-formatted text (a table or series).
+type Report struct {
+	ID    string // e.g. "fig13", "table2"
+	Title string
+	Notes []string
+	Lines []string
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// table aligns rows of columns into text lines.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cols ...string) { t.rows = append(t.rows, cols) }
+
+func (t *table) render() []string {
+	all := make([][]string, 0, len(t.rows)+1)
+	if len(t.header) > 0 {
+		all = append(all, t.header)
+	}
+	all = append(all, t.rows...)
+	widths := map[int]int{}
+	for _, row := range all {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := make([]string, 0, len(all))
+	for ri, row := range all {
+		var sb strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		out = append(out, sb.String())
+		if ri == 0 && len(t.header) > 0 {
+			out = append(out, strings.Repeat("-", len(out[0])))
+		}
+	}
+	return out
+}
+
+// bar renders a horizontal ASCII bar scaled to maxVal over width chars.
+func bar(val, maxVal float64, width int) string {
+	if maxVal <= 0 {
+		return ""
+	}
+	n := int(val/maxVal*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x) }

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligns(t *testing.T) {
+	tb := &table{header: []string{"name", "value"}}
+	tb.addRow("short", "1")
+	tb.addRow("a-much-longer-name", "123456")
+	lines := tb.render()
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// All value columns start at the same offset.
+	off := strings.Index(lines[0], "value")
+	if strings.Index(lines[2], "1") != off && !strings.HasPrefix(lines[2][off:], "1") {
+		t.Errorf("misaligned column:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing header rule: %q", lines[1])
+	}
+}
+
+func TestBarScalesAndClamps(t *testing.T) {
+	if b := bar(50, 100, 10); len(b) != 5 {
+		t.Errorf("bar(50,100,10) = %q", b)
+	}
+	if b := bar(200, 100, 10); len(b) != 10 {
+		t.Errorf("overflow bar = %q", b)
+	}
+	if b := bar(-5, 100, 10); len(b) != 0 {
+		t.Errorf("negative bar = %q", b)
+	}
+	if b := bar(5, 0, 10); b != "" {
+		t.Errorf("zero-max bar = %q", b)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "x", Title: "Test", Notes: []string{"note"}, Lines: []string{"line1", "line2"}}
+	s := r.String()
+	for _, want := range []string{"== x: Test ==", "# note", "line1", "line2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestGeoImpHandlesNegatives(t *testing.T) {
+	// A mix of improvements and slowdowns must not panic and must land
+	// between the extremes.
+	g := geoImp([]float64{50, -20, 10})
+	if g < -20 || g > 50 {
+		t.Errorf("geoImp = %v", g)
+	}
+	// Pure improvements reproduce the survival-ratio geometric mean.
+	g2 := geoImp([]float64{50, 50})
+	if g2 < 49.9 || g2 > 50.1 {
+		t.Errorf("geoImp(50,50) = %v", g2)
+	}
+}
+
+func TestShortName(t *testing.T) {
+	if shortName("ubench.tp") != "tp" || shortName("xapian.pages") != "xapian.pages" {
+		t.Error("shortName wrong")
+	}
+}

@@ -1,0 +1,276 @@
+package hoard
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mallacc/internal/cachesim"
+	"mallacc/internal/cpu"
+	"mallacc/internal/stats"
+	"mallacc/internal/tcmalloc"
+)
+
+type driver struct {
+	h    *Heap
+	th   *ThreadHeap
+	core *cpu.Core
+}
+
+func newDriver(mode tcmalloc.Mode) *driver {
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	h := New(cfg)
+	return &driver{h: h, th: h.NewThread(), core: cpu.New(cpu.DefaultConfig(), cachesim.NewDefaultHierarchy())}
+}
+
+func (d *driver) malloc(size uint64) (uint64, uint64) {
+	d.h.Em.Reset()
+	a := d.h.Malloc(d.th, size)
+	return a, d.core.RunTrace(d.h.Em.Trace())
+}
+
+func (d *driver) free(addr uint64) uint64 {
+	d.h.Em.Reset()
+	d.h.Free(d.th, addr, 0)
+	return d.core.RunTrace(d.h.Em.Trace())
+}
+
+func TestSizeClassesGeometric(t *testing.T) {
+	sc := NewSizeClasses()
+	if sc.NumClasses() < 20 {
+		t.Fatalf("only %d classes", sc.NumClasses())
+	}
+	prev := uint64(0)
+	for c := 0; c < sc.NumClasses(); c++ {
+		s := sc.ClassSize(c)
+		if s <= prev || s%8 != 0 {
+			t.Fatalf("class %d size %d (prev %d)", c, s, prev)
+		}
+		// Geometric bound: successive classes grow by at most ~60% (the
+		// 8-byte alignment coarsens tiny classes: 16 -> 24 is 1.5x).
+		if prev > 0 && float64(s) > 1.6*float64(prev) {
+			t.Fatalf("class %d jumps %d -> %d", c, prev, s)
+		}
+		prev = s
+	}
+	if sc.ClassSize(sc.NumClasses()-1) != MaxSmall {
+		t.Fatalf("last class %d", sc.ClassSize(sc.NumClasses()-1))
+	}
+}
+
+func TestClassForSound(t *testing.T) {
+	sc := NewSizeClasses()
+	f := func(raw uint32) bool {
+		size := uint64(raw)%MaxSmall + 1
+		c, ok := sc.ClassFor(size)
+		if !ok {
+			return false
+		}
+		if sc.ClassSize(c) < size {
+			return false
+		}
+		return c == 0 || sc.ClassSize(c-1) < size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	d := newDriver(tcmalloc.ModeBaseline)
+	a, _ := d.malloc(64)
+	d.free(a)
+	b, _ := d.malloc(64)
+	if a != b {
+		t.Fatalf("LIFO superblock list should reuse: %#x vs %#x", b, a)
+	}
+	d.h.CheckInvariants()
+}
+
+func TestNonOverlap(t *testing.T) {
+	d := newDriver(tcmalloc.ModeBaseline)
+	rng := stats.NewRNG(8)
+	type blk struct{ a, s uint64 }
+	var live []blk
+	for i := 0; i < 2500; i++ {
+		if len(live) > 0 && rng.Bernoulli(0.45) {
+			k := rng.Intn(len(live))
+			d.free(live[k].a)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(1 + rng.Intn(4000))
+		a, _ := d.malloc(size)
+		c, _ := d.h.SC.ClassFor(size)
+		rounded := d.h.SC.ClassSize(c)
+		for _, b := range live {
+			if a < b.a+b.s && b.a < a+rounded {
+				t.Fatalf("overlap at %#x", a)
+			}
+		}
+		live = append(live, blk{a, rounded})
+	}
+	d.h.CheckInvariants()
+}
+
+func TestModesFunctionallyIdentical(t *testing.T) {
+	db := newDriver(tcmalloc.ModeBaseline)
+	dm := newDriver(tcmalloc.ModeMallacc)
+	rng := stats.NewRNG(21)
+	type blk struct{ a uint64 }
+	var live []blk
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Bernoulli(0.48) {
+			k := rng.Intn(len(live))
+			db.free(live[k].a)
+			dm.free(live[k].a)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(1 + rng.Intn(2048))
+		a1, _ := db.malloc(size)
+		a2, _ := dm.malloc(size)
+		if a1 != a2 {
+			t.Fatalf("iteration %d: %#x vs %#x", i, a1, a2)
+		}
+		live = append(live, blk{a1})
+	}
+	db.h.CheckInvariants()
+	dm.h.CheckInvariants()
+}
+
+// TestMallaccOnHoard captures an architectural finding of this
+// reproduction: unlike TCMalloc and jemalloc, Hoard locks its per-thread
+// heap on every operation (remote frees require it), and that ~17-cycle
+// uncontended RMW sits on the fast path's critical path. With everything
+// L1-resident, Mallacc's latency savings hide entirely behind the lock —
+// the accelerator targets *lock-free* fast paths. The gains reappear as
+// soon as application cache pressure inflates the free-list loads beyond
+// the lock latency (the paper's antagonist scenario).
+func TestMallaccOnHoard(t *testing.T) {
+	measure := func(mode tcmalloc.Mode, antagonize bool) float64 {
+		d := newDriver(mode)
+		d.h.Cfg.SampleInterval = 0
+		var warm []uint64
+		for i := 0; i < 48; i++ {
+			a, _ := d.malloc(96)
+			warm = append(warm, a)
+		}
+		for _, a := range warm {
+			d.free(a)
+		}
+		var tot uint64
+		const n = 2000
+		for i := 0; i < n; i++ {
+			a, c := d.malloc(96)
+			tot += c
+			if antagonize {
+				d.core.Memory().Antagonize()
+			}
+			d.free(a)
+		}
+		return float64(tot) / n
+	}
+	base := measure(tcmalloc.ModeBaseline, false)
+	acc := measure(tcmalloc.ModeMallacc, false)
+	t.Logf("hoard warm fast path: baseline %.1f cycles, mallacc %.1f cycles (lock-bound)", base, acc)
+	if acc > base+2 {
+		t.Fatalf("Mallacc made the warm path slower: %.1f vs %.1f", acc, base)
+	}
+	baseA := measure(tcmalloc.ModeBaseline, true)
+	accA := measure(tcmalloc.ModeMallacc, true)
+	t.Logf("hoard antagonized: baseline %.1f cycles, mallacc %.1f cycles", baseA, accA)
+	if accA >= baseA {
+		t.Fatalf("no speedup under cache pressure: %.1f vs %.1f", accA, baseA)
+	}
+}
+
+func TestEmptinessMigration(t *testing.T) {
+	d := newDriver(tcmalloc.ModeBaseline)
+	// Fill several superblocks of one class, then free almost everything:
+	// the emptiness invariant must push superblocks to the global heap.
+	var addrs []uint64
+	for i := 0; i < 2000; i++ {
+		a, _ := d.malloc(128)
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		d.free(a)
+	}
+	if d.h.Stats.MigratedToGlobal == 0 {
+		t.Fatal("no superblocks migrated to the global heap")
+	}
+	d.h.CheckInvariants()
+	// A new thread must be able to pull from the global heap.
+	t2 := d.h.NewThread()
+	d.h.Em.Reset()
+	a := d.h.Malloc(t2, 128)
+	d.core.RunTrace(d.h.Em.Trace())
+	if a == 0 {
+		t.Fatal("allocation from global heap failed")
+	}
+	if d.h.Stats.PulledFromGlobal == 0 {
+		t.Fatal("thread 2 did not reuse a global superblock")
+	}
+	d.h.CheckInvariants()
+}
+
+func TestRemoteFreeLandsInOwnerHeap(t *testing.T) {
+	d := newDriver(tcmalloc.ModeMallacc)
+	t2 := d.h.NewThread()
+	var addrs []uint64
+	for i := 0; i < 300; i++ {
+		a, _ := d.malloc(200)
+		addrs = append(addrs, a)
+	}
+	// Thread 2 frees thread 1's memory: usage must drain from thread 1's
+	// accounting without corruption (and without touching the malloc
+	// cache contract — frees by t2 are "remote").
+	for _, a := range addrs {
+		d.h.Em.Reset()
+		d.h.Free(t2, a, 0)
+		d.core.RunTrace(d.h.Em.Trace())
+	}
+	d.h.CheckInvariants()
+	// And thread 1 reuses its returned objects.
+	a, _ := d.malloc(200)
+	if a == 0 {
+		t.Fatal("reuse after remote frees failed")
+	}
+}
+
+func TestLargeAllocationsBypass(t *testing.T) {
+	d := newDriver(tcmalloc.ModeBaseline)
+	a, _ := d.malloc(MaxSmall + 1)
+	if a == 0 || d.h.Stats.LargeAllocs != 1 {
+		t.Fatal("large path broken")
+	}
+	d.free(a)
+	d.h.CheckInvariants()
+}
+
+func TestHoardFuzz(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := newDriver(tcmalloc.ModeMallacc)
+		rng := stats.NewRNG(seed)
+		var live []uint64
+		for i := 0; i < 600; i++ {
+			if len(live) > 0 && rng.Bernoulli(0.48) {
+				k := rng.Intn(len(live))
+				d.free(live[k])
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			a, _ := d.malloc(uint64(1 + rng.Intn(9000)))
+			live = append(live, a)
+		}
+		d.h.CheckInvariants()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

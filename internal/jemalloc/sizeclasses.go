@@ -1,0 +1,118 @@
+// Package jemalloc is a second allocator substrate, modeled on FreeBSD's
+// jemalloc, used to substantiate the paper's claim that Mallacc "is
+// designed not for a specific allocator implementation, but for use by a
+// number of high-performance memory allocators" (Sec. 1) and that
+// "jemalloc's thread caches were inspired by TCMalloc [and] their size
+// class organization is quite similar" (Sec. 3.1).
+//
+// The structures are deliberately jemalloc's, not TCMalloc's:
+//
+//   - size classes come in geometric groups of four per power of two
+//     (16,32,48,64 | 80,96,112,128 | 160,192,224,256 | ...), computed by
+//     sz_size2index-style arithmetic rather than a giant lookup table;
+//
+//   - thread caches (tcaches) hold per-class *arrays* of cached pointers
+//     (the `avail` stack), not singly linked lists — a pop reads the
+//     stack slot under a count, which chains two dependent loads just
+//     like TCMalloc's head/next walk, and is what mchdpop short-circuits;
+//
+//   - arenas allocate small objects from slabs with per-slab bitmaps, so
+//     the tcache fill path scans bitmap words instead of popping a
+//     central free list.
+//
+// The same five Mallacc instructions accelerate this allocator: mcszlookup
+// caches size->(class, rounded) mappings, mchdpop/mchdpush cache the top
+// two `avail` entries, and mcnxtprefetch refills the pair from the array.
+package jemalloc
+
+import (
+	"mallacc/internal/mem"
+)
+
+const (
+	// Quantum is the small-size spacing (16 bytes, jemalloc's LG_QUANTUM=4).
+	Quantum = 16
+	// GroupSize is the number of classes per power-of-two group.
+	GroupSize = 4
+	// MaxSmall is the largest tcache-cached size (jemalloc's
+	// tcache_maxclass default region: 32 KiB).
+	MaxSmall = 32 << 10
+)
+
+// SizeClasses holds the jemalloc-style class table.
+type SizeClasses struct {
+	sizes []uint64
+}
+
+// NewSizeClasses generates the table: linear spacing up to 128, then four
+// classes per power-of-two group.
+func NewSizeClasses() *SizeClasses {
+	sc := &SizeClasses{}
+	for s := uint64(Quantum); s <= 128; s += Quantum {
+		sc.sizes = append(sc.sizes, s)
+	}
+	for base := uint64(128); base < MaxSmall; base *= 2 {
+		delta := base / GroupSize
+		for i := 1; i <= GroupSize; i++ {
+			sc.sizes = append(sc.sizes, base+delta*uint64(i))
+		}
+	}
+	return sc
+}
+
+// NumClasses returns the class count.
+func (sc *SizeClasses) NumClasses() int { return len(sc.sizes) }
+
+// ClassSize returns the rounded size of class c.
+func (sc *SizeClasses) ClassSize(c int) uint64 { return sc.sizes[c] }
+
+// Size2Index maps a request size to its class (jemalloc's sz_size2index:
+// a handful of shifts and adds, no table). ok is false for large sizes.
+func (sc *SizeClasses) Size2Index(size uint64) (int, bool) {
+	if size == 0 {
+		size = 1
+	}
+	if size > MaxSmall {
+		return 0, false
+	}
+	if size <= 128 {
+		return int((size+Quantum-1)/Quantum) - 1, true
+	}
+	// Group arithmetic: lg of the group base, then the delta index.
+	lg := uint(63 - leadingZeros64(size-1))
+	base := uint64(1) << lg // largest power of two below size (size>128)
+	if base < 128 {
+		base = 128
+	}
+	delta := base / GroupSize
+	idx := (size - base + delta - 1) / delta
+	// Classes below 128: 8 linear classes; groups start after them.
+	group := int(lg) - 7 // size in (128,256] -> group 0
+	return 8 + group*GroupSize + int(idx) - 1, true
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+		if n == 64 {
+			break
+		}
+	}
+	return n
+}
+
+// SlabPages returns the slab size, in pages, used for class c: enough
+// pages that at least 32 regions fit, capped at 8.
+func (sc *SizeClasses) SlabPages(c int) uint64 {
+	size := sc.sizes[c]
+	pages := (size*32 + mem.PageSize - 1) / mem.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	if pages > 8 {
+		pages = 8
+	}
+	return pages
+}

@@ -1,0 +1,153 @@
+// Package mem provides the simulated 48-bit address space the reproduced
+// TCMalloc substrate allocates from. No real memory proportional to the
+// simulated heap is used: only 8-byte words that the allocator actually
+// writes (chiefly the in-band free-list "next" pointers TCMalloc stores
+// inside free objects, and allocator metadata) are materialized, in a map.
+//
+// Keeping the heap simulated has two purposes. First, Go's garbage collector
+// never interacts with it, so timing results are deterministic (the
+// repro-band concern about a GC runtime hosting a tcmalloc-style model).
+// Second, addresses are plain integers, which is exactly what the cache
+// hierarchy and TLB models consume.
+package mem
+
+import "fmt"
+
+const (
+	// PageShift matches TCMalloc's kPageShift at the evaluated revision:
+	// 8 KiB pages.
+	PageShift = 13
+	// PageSize is the allocator page size in bytes.
+	PageSize = 1 << PageShift
+	// AddressBits is the usable virtual address width (x86-64 uses the
+	// lower 48 bits; the paper's area model stores 48-bit pointers).
+	AddressBits = 48
+	// CacheLineSize is used by the cache models for alignment.
+	CacheLineSize = 64
+)
+
+// Space is a simulated flat address space with an sbrk-style growth pointer
+// and a sparse 8-byte word store.
+type Space struct {
+	base  uint64
+	brk   uint64
+	limit uint64
+	words map[uint64]uint64
+
+	// SbrkCalls counts OS memory requests, which the timing model charges
+	// as expensive system calls.
+	SbrkCalls int
+	// SbrkBytes is the total memory "requested from the OS".
+	SbrkBytes uint64
+}
+
+// NewSpace creates a space whose heap starts at base and may grow to limit.
+// base must be page aligned.
+func NewSpace(base, limit uint64) *Space {
+	if base%PageSize != 0 {
+		panic("mem: base not page aligned")
+	}
+	if limit <= base || limit > 1<<AddressBits {
+		panic("mem: bad limit")
+	}
+	return &Space{base: base, brk: base, limit: limit, words: make(map[uint64]uint64)}
+}
+
+// NewDefaultSpace returns a space with the layout used throughout the
+// reproduction: heap at 256 MiB, growable to 64 GiB.
+func NewDefaultSpace() *Space {
+	return NewSpace(1<<28, 1<<36)
+}
+
+// Base returns the first heap address.
+func (s *Space) Base() uint64 { return s.base }
+
+// Brk returns the current end of the grown heap.
+func (s *Space) Brk() uint64 { return s.brk }
+
+// Sbrk grows the heap by n bytes (rounded up to a page) and returns the
+// start address of the new region, mimicking an OS memory request.
+func (s *Space) Sbrk(n uint64) uint64 {
+	n = RoundUp(n, PageSize)
+	if s.brk+n > s.limit {
+		panic(fmt.Sprintf("mem: simulated heap exhausted (brk=%#x, want %d bytes)", s.brk, n))
+	}
+	addr := s.brk
+	s.brk += n
+	s.SbrkCalls++
+	s.SbrkBytes += n
+	return addr
+}
+
+// ReadWord returns the 8-byte word at addr (0 if never written). addr must
+// be 8-byte aligned: the allocator only stores aligned pointers.
+func (s *Space) ReadWord(addr uint64) uint64 {
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("mem: unaligned read at %#x", addr))
+	}
+	return s.words[addr]
+}
+
+// WriteWord stores an 8-byte word at addr.
+func (s *Space) WriteWord(addr, val uint64) {
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("mem: unaligned write at %#x", addr))
+	}
+	if val == 0 {
+		delete(s.words, addr)
+		return
+	}
+	s.words[addr] = val
+}
+
+// WordsLive returns how many distinct words are materialized; used by tests
+// to check the simulation does not leak per-allocation state.
+func (s *Space) WordsLive() int { return len(s.words) }
+
+// RoundUp rounds n up to a multiple of align (a power of two).
+func RoundUp(n, align uint64) uint64 {
+	return (n + align - 1) &^ (align - 1)
+}
+
+// PageFloor returns the page-aligned address containing addr.
+func PageFloor(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// PageID returns the allocator page number of addr.
+func PageID(addr uint64) uint64 { return addr >> PageShift }
+
+// Arena is a bump allocator carved out of a Space, used for allocator
+// metadata (size-class tables, thread-cache structs, central list headers,
+// radix-tree nodes). Metadata lives at stable simulated addresses so the
+// cache models see realistic conflict behaviour between metadata and heap.
+type Arena struct {
+	space *Space
+	cur   uint64
+	end   uint64
+}
+
+// NewArena reserves n bytes of metadata space from s.
+func NewArena(s *Space, n uint64) *Arena {
+	start := s.Sbrk(n)
+	return &Arena{space: s, cur: start, end: start + RoundUp(n, PageSize)}
+}
+
+// Alloc returns the address of a fresh metadata block of n bytes with the
+// given alignment (power of two), growing the arena if required.
+func (a *Arena) Alloc(n, align uint64) uint64 {
+	addr := RoundUp(a.cur, align)
+	if addr+n > a.end {
+		// Grow by at least a page; arenas are for bounded metadata so this
+		// stays rare.
+		grow := RoundUp(n+align, PageSize)
+		fresh := a.space.Sbrk(grow)
+		if fresh == a.end {
+			a.end += grow
+		} else {
+			a.cur = fresh
+			a.end = fresh + grow
+			addr = RoundUp(a.cur, align)
+		}
+	}
+	a.cur = addr + n
+	return addr
+}

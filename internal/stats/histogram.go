@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DurationHist is a log-bucketed histogram of call durations (in cycles).
+// It is the structure behind the paper's Figures 1, 2, 15 and 16, which plot
+// the *fraction of total time* spent in calls of a given duration, on a
+// logarithmic duration axis.
+//
+// Buckets are HDR-style: each power-of-two range is split into subBuckets
+// equal sub-ranges, giving bounded relative error while covering durations
+// from 1 cycle to hundreds of millions.
+type DurationHist struct {
+	counts map[int]uint64 // bucket index -> number of calls
+	sums   map[int]uint64 // bucket index -> total cycles of those calls
+	total  uint64         // total cycles across all calls
+	n      uint64         // total number of calls
+}
+
+const histSubBuckets = 8
+
+// NewDurationHist returns an empty histogram.
+func NewDurationHist() *DurationHist {
+	return &DurationHist{counts: map[int]uint64{}, sums: map[int]uint64{}}
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d uint64) int {
+	if d < histSubBuckets {
+		return int(d)
+	}
+	exp := 63 - leadingZeros(d)
+	// Sub-bucket within the power-of-two range [2^exp, 2^(exp+1)).
+	sub := int((d >> (uint(exp) - 3)) & (histSubBuckets - 1))
+	return exp*histSubBuckets + sub
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketBounds returns the [lo, hi) duration range of a bucket index.
+func bucketBounds(idx int) (lo, hi uint64) {
+	if idx < histSubBuckets {
+		return uint64(idx), uint64(idx + 1)
+	}
+	exp := idx / histSubBuckets
+	sub := idx % histSubBuckets
+	width := uint64(1) << (uint(exp) - 3)
+	lo = (uint64(1) << uint(exp)) + uint64(sub)*width
+	return lo, lo + width
+}
+
+// Add records one call of the given duration.
+func (h *DurationHist) Add(d uint64) {
+	i := bucketIndex(d)
+	h.counts[i]++
+	h.sums[i] += d
+	h.total += d
+	h.n++
+}
+
+// N returns the number of recorded calls.
+func (h *DurationHist) N() uint64 { return h.n }
+
+// TotalCycles returns the sum of all recorded durations.
+func (h *DurationHist) TotalCycles() uint64 { return h.total }
+
+// MeanCycles returns the average call duration.
+func (h *DurationHist) MeanCycles() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.total) / float64(h.n)
+}
+
+// Merge adds the contents of o into h.
+func (h *DurationHist) Merge(o *DurationHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+		h.sums[i] += o.sums[i]
+	}
+	h.total += o.total
+	h.n += o.n
+}
+
+// Bucket is one row of an extracted distribution.
+type Bucket struct {
+	Lo, Hi  uint64  // duration range [Lo, Hi)
+	Count   uint64  // number of calls in range
+	Cycles  uint64  // total cycles of those calls
+	TimePct float64 // percent of total time spent in these calls
+	CallPct float64 // percent of all calls
+}
+
+// Buckets returns the non-empty buckets in increasing duration order with
+// time and call percentages filled in.
+func (h *DurationHist) Buckets() []Bucket {
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Bucket, 0, len(idxs))
+	for _, i := range idxs {
+		lo, hi := bucketBounds(i)
+		b := Bucket{Lo: lo, Hi: hi, Count: h.counts[i], Cycles: h.sums[i]}
+		if h.total > 0 {
+			b.TimePct = 100 * float64(b.Cycles) / float64(h.total)
+		}
+		if h.n > 0 {
+			b.CallPct = 100 * float64(b.Count) / float64(h.n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TimeCDFBelow returns the percentage of total call time spent in calls
+// with duration strictly below d. This is the quantity behind Figure 2
+// ("more than 60% of time is spent on calls that take less than 100
+// cycles").
+func (h *DurationHist) TimeCDFBelow(d uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	limit := bucketIndex(d)
+	var acc uint64
+	for i, s := range h.sums {
+		if i < limit {
+			acc += s
+		}
+	}
+	return 100 * float64(acc) / float64(h.total)
+}
+
+// CallCDFBelow returns the percentage of calls with duration below d.
+func (h *DurationHist) CallCDFBelow(d uint64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	limit := bucketIndex(d)
+	var acc uint64
+	for i, c := range h.counts {
+		if i < limit {
+			acc += c
+		}
+	}
+	return 100 * float64(acc) / float64(h.n)
+}
+
+// MedianCycles returns the approximate median call duration (by call count),
+// interpolated within its bucket.
+func (h *DurationHist) MedianCycles() float64 { return h.PercentileCycles(50) }
+
+// PercentileCycles returns the approximate p-th percentile (0-100) of call
+// duration by call count.
+func (h *DurationHist) PercentileCycles(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := p / 100 * float64(h.n)
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var acc float64
+	for _, i := range idxs {
+		c := float64(h.counts[i])
+		if acc+c >= target {
+			lo, hi := bucketBounds(i)
+			frac := 0.5
+			if c > 0 {
+				frac = (target - acc) / c
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		acc += c
+	}
+	lo, hi := bucketBounds(idxs[len(idxs)-1])
+	_ = lo
+	return float64(hi)
+}
+
+// RenderPDF produces an ASCII rendering of the time-in-calls PDF on a log
+// duration axis, similar in spirit to the paper's Figure 1. maxWidth is the
+// bar width in characters for the largest bucket.
+func (h *DurationHist) RenderPDF(maxWidth int) string {
+	bs := h.coalesceLog()
+	var peak float64
+	for _, b := range bs {
+		if b.TimePct > peak {
+			peak = b.TimePct
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bs {
+		w := 0
+		if peak > 0 {
+			w = int(math.Round(b.TimePct / peak * float64(maxWidth)))
+		}
+		fmt.Fprintf(&sb, "%10d-%-10d %6.2f%% |%s\n", b.Lo, b.Hi, b.TimePct, strings.Repeat("#", w))
+	}
+	return sb.String()
+}
+
+// coalesceLog merges sub-buckets into whole power-of-two buckets for
+// compact display.
+func (h *DurationHist) coalesceLog() []Bucket {
+	type agg struct {
+		count, cycles uint64
+	}
+	byExp := map[int]agg{}
+	for i, c := range h.counts {
+		lo, _ := bucketBounds(i)
+		exp := 0
+		for v := lo; v > 1; v >>= 1 {
+			exp++
+		}
+		a := byExp[exp]
+		a.count += c
+		a.cycles += h.sums[i]
+		byExp[exp] = a
+	}
+	exps := make([]int, 0, len(byExp))
+	for e := range byExp {
+		exps = append(exps, e)
+	}
+	sort.Ints(exps)
+	out := make([]Bucket, 0, len(exps))
+	for _, e := range exps {
+		a := byExp[e]
+		b := Bucket{Lo: 1 << uint(e), Hi: 1 << uint(e+1), Count: a.count, Cycles: a.cycles}
+		if h.total > 0 {
+			b.TimePct = 100 * float64(a.cycles) / float64(h.total)
+		}
+		if h.n > 0 {
+			b.CallPct = 100 * float64(a.count) / float64(h.n)
+		}
+		out = append(out, b)
+	}
+	return out
+}

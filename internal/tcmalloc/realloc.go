@@ -1,0 +1,79 @@
+package tcmalloc
+
+import (
+	"mallacc/internal/mem"
+	"mallacc/internal/uop"
+)
+
+// Calloc allocates size bytes zeroed: a malloc followed by a memset. The
+// memset is one store per 8 bytes up to a cache line per iteration —
+// cheap for small objects, senior-queue-hidden for large ones, but it
+// warms (or pollutes) the data cache exactly like the real thing.
+func (h *Heap) Calloc(tc *ThreadCache, size uint64) uint64 {
+	addr := h.Malloc(tc, size)
+	e := h.Em
+	prev := e.Step(uop.StepOther)
+	rounded := size
+	if c, r, ok := h.SizeMap.ClassFor(size); ok && c > 0 {
+		rounded = r
+	}
+	dep := e.ALU(uop.NoDep, uop.NoDep)
+	for off := uint64(0); off < rounded; off += mem.CacheLineSize {
+		e.Store(addr+off, dep, uop.NoDep)
+	}
+	e.Branch(siteCarveLoop, false, dep)
+	e.Step(prev)
+	// The object's in-band word is cleared (first word of the region).
+	h.Space.WriteWord(addr, 0)
+	return addr
+}
+
+// Realloc resizes an allocation. Like TCMalloc, it returns the old block
+// when the new size still fits the current size class (or shrinks by less
+// than half), and otherwise allocates, copies, and frees.
+// oldSize is the sized-delete hint for the old block (0 = unknown).
+func (h *Heap) Realloc(tc *ThreadCache, ptr uint64, oldSize, newSize uint64) uint64 {
+	e := h.Em
+	if ptr == 0 {
+		return h.Malloc(tc, newSize)
+	}
+	if newSize == 0 {
+		h.Free(tc, ptr, oldSize)
+		return 0
+	}
+
+	// In-place check: both sizes small and same class, or a moderate
+	// shrink.
+	oldClass, _, oldSmall := h.SizeMap.ClassFor(oldSize)
+	newClass, _, newSmall := h.SizeMap.ClassFor(newSize)
+	if oldSize > 0 && oldSmall && newSmall &&
+		(oldClass == newClass || (newSize < oldSize && newSize*2 >= oldSize)) {
+		// Fast path: size-class computation only, then return.
+		e.Step(uop.StepCallOverhead)
+		e.Store(tc.stackAddr, uop.NoDep, uop.NoDep)
+		e.ALU(uop.NoDep, uop.NoDep)
+		e.Step(uop.StepSizeClass)
+		h.emitFreeSizeClass(newSize, newClass)
+		h.emitEpilogue(tc)
+		return ptr
+	}
+
+	// Move: allocate, copy min(old,new), free.
+	fresh := h.Malloc(tc, newSize)
+	prev := e.Step(uop.StepOther)
+	n := oldSize
+	if newSize < n {
+		n = newSize
+	}
+	if n == 0 {
+		n = 8
+	}
+	dep := uop.NoDep
+	for off := uint64(0); off < n; off += mem.CacheLineSize {
+		ld := e.Load(ptr+off, dep)
+		e.Store(fresh+off, ld, uop.NoDep)
+	}
+	e.Step(prev)
+	h.Free(tc, ptr, oldSize)
+	return fresh
+}

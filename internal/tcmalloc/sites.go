@@ -1,0 +1,27 @@
+package tcmalloc
+
+// Branch-site identifiers. The CPU's branch predictor is indexed by these,
+// standing in for static branch PCs; each distinct conditional branch in
+// the allocator gets its own site so prediction behaviour matches the
+// paper's observation that the fast path's "few conditional branches ...
+// are easy to predict".
+const (
+	siteIsSmall uint32 = iota + 1
+	siteSizeBranch
+	siteSampleCheck
+	siteListEmpty
+	siteMcSzHit
+	siteMcPopHit
+	siteFreeSmall
+	siteListTooLong
+	siteCacheTooBig
+	siteTransferHit
+	siteSpanHasFree
+	siteHeapListHit
+	siteHeapLargeFit
+	siteHeapCoalesce
+	siteFetchLoop
+	siteReleaseLoop
+	siteCarveLoop
+	siteSampledAlloc
+)

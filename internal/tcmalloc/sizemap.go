@@ -1,0 +1,216 @@
+// Package tcmalloc is a functionally faithful re-implementation of the
+// TCMalloc allocator (at the revision the paper evaluates) over a simulated
+// address space. It reproduces the structures Mallacc interacts with: the
+// size map with the exact class-index computation of the paper's Figure 5,
+// per-thread caches of singly linked free lists whose next pointers live
+// in-band in free objects (Figure 7), a transfer cache and central free
+// lists holding spans, a span-based page heap with coalescing, a three-
+// level radix page map, and the byte-interval sampler.
+//
+// Every operation both executes functionally and emits the micro-ops an
+// x86 core would run for it, in one of two modes: the baseline software
+// fast path or the Mallacc-accelerated fast path using the five new
+// instructions modeled in internal/core.
+package tcmalloc
+
+import (
+	"fmt"
+
+	"mallacc/internal/mem"
+)
+
+// Size map constants, matching gperftools at the evaluated revision.
+const (
+	// Alignment is the minimum alignment of any allocation.
+	Alignment = 8
+	// MinAlign is the minimum size-class spacing.
+	MinAlign = 16
+	// MaxSmallSize is the boundary between the two class-index formulas
+	// (Fig. 5).
+	MaxSmallSize = 1024
+	// MaxSize is the largest "small" allocation served by thread caches;
+	// larger requests go straight to spans (Sec. 3.1: < 256KB).
+	MaxSize = 256 << 10
+	// ClassArraySize is the number of class indices
+	// ("slightly above 2100 ... fixed in 2007", Sec. 3.3).
+	ClassArraySize = ((MaxSize + 127 + (120 << 7)) >> 7) + 1
+	// MaxNumClasses bounds the generated class count (gperftools uses 88
+	// at this revision; the generator asserts it stays within bounds).
+	MaxNumClasses = 96
+)
+
+// ClassIndex implements the exact mapping of the paper's Figure 5: small
+// sizes are spaced by 8, larger ones by 128 with an offset.
+func ClassIndex(size uint64) uint64 {
+	if size <= MaxSmallSize {
+		return (size + 7) >> 3
+	}
+	return (size + 15487) >> 7
+}
+
+// SizeMap holds the size-class tables: classArray maps a class index to a
+// size class, classToSize maps a class to its rounded allocation size, and
+// numToMove gives the transfer-cache batch size per class.
+type SizeMap struct {
+	numClasses  int
+	classArray  [ClassArraySize]uint8
+	classToSize [MaxNumClasses]uint64
+	classPages  [MaxNumClasses]uint64 // span length used to refill a class
+	numToMove   [MaxNumClasses]int    // batch size between central and thread caches
+
+	// Simulated addresses of the two lookup arrays, so table loads on the
+	// software fast path hit the cache models at stable locations
+	// ("the two array lookups can be comparatively costly", Sec. 3.3).
+	classArrayAddr  uint64
+	classToSizeAddr uint64
+}
+
+// NewSizeMap generates the size classes with the gperftools algorithm:
+// classes are spaced by an alignment that grows with size (keeping internal
+// fragmentation bounded by ~12.5%), and adjacent candidates that would use
+// the same span geometry are merged.
+func NewSizeMap(arena *mem.Arena) *SizeMap {
+	sm := &SizeMap{}
+	sm.classArrayAddr = arena.Alloc(ClassArraySize, 64)
+	sm.classToSizeAddr = arena.Alloc(MaxNumClasses*8, 64)
+
+	// Class 0 is reserved (means "not a small allocation").
+	sc := 1
+	for size := uint64(MinAlign); size <= MaxSize; size += alignmentForSize(size) {
+		if sc >= MaxNumClasses {
+			panic("tcmalloc: size class overflow")
+		}
+		blocksToMove := numMoveSize(size) / 4
+		var psize uint64
+		for {
+			psize += mem.PageSize
+			// Allocate enough pages so the leftover after slicing into
+			// objects is at most 1/8 of the span.
+			for (psize % size) > (psize >> 3) {
+				psize += mem.PageSize
+			}
+			if psize/size >= uint64(blocksToMove) {
+				break
+			}
+		}
+		pages := psize >> mem.PageShift
+		if sc > 1 && pages == sm.classPages[sc-1] &&
+			psize/size == (sm.classPages[sc-1]<<mem.PageShift)/sm.classToSize[sc-1] {
+			// Same span geometry as the previous class: merge by widening
+			// the previous class to this size.
+			sm.classToSize[sc-1] = size
+			continue
+		}
+		sm.classToSize[sc] = size
+		sm.classPages[sc] = pages
+		sm.numToMove[sc] = clampMove(numMoveSize(size))
+		sc++
+	}
+	sm.numClasses = sc
+
+	// Fill the index -> class array.
+	next := 0
+	for c := 1; c < sc; c++ {
+		maxIdx := int(ClassIndex(sm.classToSize[c]))
+		for i := next; i <= maxIdx; i++ {
+			sm.classArray[i] = uint8(c)
+		}
+		next = maxIdx + 1
+	}
+	if next != int(ClassIndex(MaxSize))+1 {
+		panic(fmt.Sprintf("tcmalloc: class array incomplete: filled %d of %d", next, ClassIndex(MaxSize)+1))
+	}
+	return sm
+}
+
+// alignmentForSize mirrors gperftools AlignmentForSize: spacing grows with
+// size so relative fragmentation stays bounded.
+func alignmentForSize(size uint64) uint64 {
+	var align uint64
+	switch {
+	case size > MaxSize:
+		align = mem.PageSize
+	case size >= 128:
+		align = (uint64(1) << lgFloor(size)) / 8
+	case size >= MinAlign:
+		align = MinAlign
+	default:
+		align = Alignment
+	}
+	if align > mem.PageSize {
+		align = mem.PageSize
+	}
+	return align
+}
+
+func lgFloor(n uint64) uint {
+	var lg uint
+	for n > 1 {
+		n >>= 1
+		lg++
+	}
+	return lg
+}
+
+// numMoveSize mirrors gperftools SizeMap::NumMoveSize: aim to move 64KB per
+// central-cache transfer.
+func numMoveSize(size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	n := int((64 << 10) / size)
+	if n < 2 {
+		n = 2
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+func clampMove(n int) int {
+	if n < 2 {
+		return 2
+	}
+	if n > 32 {
+		return 32
+	}
+	return n
+}
+
+// NumClasses returns the number of size classes (including reserved class
+// 0).
+func (sm *SizeMap) NumClasses() int { return sm.numClasses }
+
+// SizeClass returns the class for a small request (size <= MaxSize).
+func (sm *SizeMap) SizeClass(size uint64) uint8 {
+	return sm.classArray[ClassIndex(size)]
+}
+
+// ClassSize returns the rounded allocation size of a class.
+func (sm *SizeMap) ClassSize(class uint8) uint64 { return sm.classToSize[class] }
+
+// ClassPages returns the span length, in pages, used to refill a class.
+func (sm *SizeMap) ClassPages(class uint8) uint64 { return sm.classPages[class] }
+
+// NumToMove returns the transfer batch size of a class.
+func (sm *SizeMap) NumToMove(class uint8) int { return sm.numToMove[class] }
+
+// ClassFor returns the class for size along with its rounded size, or
+// ok=false for large allocations.
+func (sm *SizeMap) ClassFor(size uint64) (class uint8, rounded uint64, ok bool) {
+	if size > MaxSize {
+		return 0, 0, false
+	}
+	if size == 0 {
+		size = 1
+	}
+	c := sm.SizeClass(size)
+	return c, sm.classToSize[c], true
+}
+
+// ClassArrayAddr returns the simulated address of the index->class array.
+func (sm *SizeMap) ClassArrayAddr() uint64 { return sm.classArrayAddr }
+
+// ClassToSizeAddr returns the simulated address of the class->size array.
+func (sm *SizeMap) ClassToSizeAddr() uint64 { return sm.classToSizeAddr }

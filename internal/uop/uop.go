@@ -1,0 +1,313 @@
+// Package uop defines the micro-operation trace format that connects the
+// functional allocator model to the cycle-level CPU timing model.
+//
+// The reproduced TCMalloc executes every allocator operation twice over, in
+// one pass: it performs the operation functionally against the simulated
+// address space, and simultaneously emits the micro-ops an x86 core would
+// execute for it — loads and stores with their simulated addresses, ALU
+// ops, branches with stable site IDs for the branch predictor, and the five
+// Mallacc instructions. Register dataflow is captured as explicit
+// dependency edges between micro-ops, so the out-of-order model sees the
+// same dependence graph the paper's Figure 7 analyzes (e.g. the dependent
+// load-load-store chain of a free-list pop).
+//
+// Every micro-op carries a Step tag identifying which fast-path component
+// it belongs to (size-class computation, sampling, free-list push/pop, ...).
+// The paper's limit study "simply ignores" those instructions in timing
+// simulation; the CPU model reproduces that by treating drop-tagged ops as
+// zero-latency.
+package uop
+
+// Kind enumerates micro-op types. Latencies and port bindings are assigned
+// by the CPU model.
+type Kind uint8
+
+const (
+	// ALU is a simple integer operation (add, shift, compare): 1 cycle.
+	ALU Kind = iota
+	// IMul is an integer multiply: 3 cycles.
+	IMul
+	// Load reads 8 bytes from the simulated address space through the
+	// cache hierarchy.
+	Load
+	// Store writes 8 bytes; it completes without waiting for the memory
+	// system (senior store queue semantics).
+	Store
+	// Branch is a conditional branch resolved at execute; mispredictions
+	// redirect fetch.
+	Branch
+	// SWPrefetch is a conventional software prefetch into L1.
+	SWPrefetch
+	// McSzLookup is Mallacc's size-class lookup (paper Fig. 9): requested
+	// size in, (size class, allocation size) out, ZF set on hit.
+	McSzLookup
+	// McSzUpdate inserts or widens a size-class mapping after a software
+	// fallback (paper Fig. 9).
+	McSzUpdate
+	// McHdPop pops the cached free-list head for a size class (Fig. 11).
+	McHdPop
+	// McHdPush pushes a freed pointer as the new cached head (Fig. 11).
+	McHdPush
+	// McNxtPrefetch asynchronously refills the cached Next (or Head) slot;
+	// it commits like a store but blocks its malloc-cache entry until the
+	// data returns from the cache hierarchy (Fig. 11, Sec. 4.1).
+	McNxtPrefetch
+	// Nop occupies no resources; used as a dependence join point.
+	Nop
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"alu", "imul", "load", "store", "branch", "swprefetch",
+	"mcszlookup", "mcszupdate", "mchdpop", "mchdpush", "mcnxtprefetch", "nop",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// IsMallacc reports whether the op is one of the five accelerator
+// instructions.
+func (k Kind) IsMallacc() bool {
+	return k >= McSzLookup && k <= McNxtPrefetch
+}
+
+// IsMemory reports whether the op accesses the cache hierarchy.
+func (k Kind) IsMemory() bool {
+	return k == Load || k == Store || k == SWPrefetch || k == McNxtPrefetch
+}
+
+// Step tags a micro-op with the fast-path component it implements
+// (Sec. 3.3 of the paper). The limit study and the Figure 4 ablations
+// remove steps from timing by tag.
+type Step uint8
+
+const (
+	// StepOther covers addressing calculations, metadata updates and
+	// everything the paper chooses not to accelerate.
+	StepOther Step = iota
+	// StepSizeClass is the size-class computation (Fig. 5).
+	StepSizeClass
+	// StepSampling is the sampling counter check.
+	StepSampling
+	// StepPushPop is the free-list head push/pop chain (Fig. 7).
+	StepPushPop
+	// StepCallOverhead is function prologue/epilogue work.
+	StepCallOverhead
+
+	NumSteps
+)
+
+var stepNames = [NumSteps]string{"other", "sizeclass", "sampling", "pushpop", "callovh"}
+
+func (s Step) String() string {
+	if int(s) < len(stepNames) {
+		return stepNames[s]
+	}
+	return "unknown"
+}
+
+// Val identifies the micro-op whose result a later op consumes. NoDep means
+// the operand is immediately available (immediate or long-ago register).
+type Val int32
+
+// NoDep marks an absent dependency.
+const NoDep Val = -1
+
+// UOp is one micro-operation of a call trace.
+type UOp struct {
+	Kind Kind
+	Step Step
+	// Addr is the simulated byte address for memory ops.
+	Addr uint64
+	// Site is a stable branch-site identifier; the branch predictor is
+	// indexed by it (a stand-in for the static PC).
+	Site uint32
+	// Taken is the actual branch outcome.
+	Taken bool
+	// Dep1, Dep2 are register-dataflow dependencies (indices into the
+	// trace), or NoDep.
+	Dep1, Dep2 Val
+	// MCEntry is the malloc-cache entry this Mallacc op touched, or -1.
+	// Entry blocking on outstanding prefetch is enforced per entry.
+	MCEntry int16
+	// MCHit records whether a Mallacc lookup/pop hit (determined
+	// functionally); a miss clears ZF and software falls back.
+	MCHit bool
+	// LatOverride, if nonzero, replaces the kind's default execution
+	// latency (e.g. +1 cycle for the index-computation mode of
+	// mcszlookup).
+	LatOverride uint8
+}
+
+// Trace is the micro-op sequence of a single allocator call, in program
+// order.
+type Trace struct {
+	Ops []UOp
+}
+
+// CountByStep returns how many ops carry each step tag.
+func (t *Trace) CountByStep() [NumSteps]int {
+	var out [NumSteps]int
+	for i := range t.Ops {
+		out[t.Ops[i].Step]++
+	}
+	return out
+}
+
+// Emitter builds call traces. The allocator holds one Emitter and resets it
+// at the start of every malloc/free; helper methods return the Val of the
+// op they append so callers can wire dataflow.
+type Emitter struct {
+	ops []UOp
+	// lastMC implements the architectural ordering of the three linked-
+	// list instructions ("implicit read-write register dependency through
+	// an architecturally-invisible register", Sec. 4.1): each Mallacc list
+	// op depends on the previous one.
+	lastMC Val
+	// step is the currently active tag.
+	step Step
+	// disabled suppresses emission entirely (pure-functional execution,
+	// used by tests and warmup).
+	disabled bool
+}
+
+// NewEmitter returns an Emitter with capacity for typical fast-path traces.
+func NewEmitter() *Emitter {
+	return &Emitter{ops: make([]UOp, 0, 128), lastMC: NoDep}
+}
+
+// Reset discards the current trace and starts a new call.
+func (e *Emitter) Reset() {
+	e.ops = e.ops[:0]
+	e.lastMC = NoDep
+	e.step = StepOther
+}
+
+// SetDisabled turns emission off or on. While disabled, all emit methods
+// return NoDep and record nothing.
+func (e *Emitter) SetDisabled(d bool) { e.disabled = d }
+
+// Disabled reports whether emission is off.
+func (e *Emitter) Disabled() bool { return e.disabled }
+
+// Step sets the active tag for subsequently emitted ops and returns the
+// previous tag so callers can restore it.
+func (e *Emitter) Step(s Step) Step {
+	prev := e.step
+	e.step = s
+	return prev
+}
+
+// Len returns the number of ops emitted for the current call.
+func (e *Emitter) Len() int { return len(e.ops) }
+
+// Trace returns the current call's trace. The backing slice is reused after
+// Reset; callers must consume it before the next call.
+func (e *Emitter) Trace() Trace { return Trace{Ops: e.ops} }
+
+func (e *Emitter) push(op UOp) Val {
+	op.Step = e.step
+	if op.MCEntry == 0 && !op.Kind.IsMallacc() {
+		op.MCEntry = -1
+	}
+	e.ops = append(e.ops, op)
+	return Val(len(e.ops) - 1)
+}
+
+// ALU emits a 1-cycle integer op depending on up to two producers.
+func (e *Emitter) ALU(dep1, dep2 Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: ALU, Dep1: dep1, Dep2: dep2, MCEntry: -1})
+}
+
+// ALUWithLat emits an integer op with an explicit latency; used to model
+// serializing operations with known costs (atomic RMWs for locks, the
+// syscall entry/exit of an OS memory request) without inventing new kinds.
+func (e *Emitter) ALUWithLat(lat uint8, dep1, dep2 Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: ALU, Dep1: dep1, Dep2: dep2, MCEntry: -1, LatOverride: lat})
+}
+
+// ALUChain emits n serially dependent ALU ops seeded by dep and returns the
+// last one; it models short address or flag computations.
+func (e *Emitter) ALUChain(n int, dep Val) Val {
+	v := dep
+	for i := 0; i < n; i++ {
+		v = e.ALU(v, NoDep)
+	}
+	return v
+}
+
+// IMul emits a 3-cycle multiply.
+func (e *Emitter) IMul(dep1, dep2 Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: IMul, Dep1: dep1, Dep2: dep2, MCEntry: -1})
+}
+
+// Load emits a load of the word at addr whose address depends on addrDep.
+func (e *Emitter) Load(addr uint64, addrDep Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: Load, Addr: addr, Dep1: addrDep, Dep2: NoDep, MCEntry: -1})
+}
+
+// Store emits a store to addr with the given address and data dependencies.
+func (e *Emitter) Store(addr uint64, addrDep, dataDep Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: Store, Addr: addr, Dep1: addrDep, Dep2: dataDep, MCEntry: -1})
+}
+
+// Branch emits a conditional branch at the given site with the actual
+// outcome taken, conditioned on dep (typically a compare or a Mallacc op
+// that sets ZF).
+func (e *Emitter) Branch(site uint32, taken bool, dep Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: Branch, Site: site, Taken: taken, Dep1: dep, Dep2: NoDep, MCEntry: -1})
+}
+
+// SWPrefetch emits a software prefetch of addr.
+func (e *Emitter) SWPrefetch(addr uint64, addrDep Val) Val {
+	if e.disabled {
+		return NoDep
+	}
+	return e.push(UOp{Kind: SWPrefetch, Addr: addr, Dep1: addrDep, Dep2: NoDep, MCEntry: -1})
+}
+
+// Mallacc emits one of the five accelerator instructions. entry is the
+// malloc-cache entry touched (-1 if none, e.g. a missing lookup), hit is
+// the functional outcome, addr is the prefetch target for McNxtPrefetch,
+// and latOverride optionally replaces the default latency.
+func (e *Emitter) Mallacc(kind Kind, entry int, hit bool, addr uint64, dep Val, latOverride uint8) Val {
+	if e.disabled {
+		return NoDep
+	}
+	if !kind.IsMallacc() {
+		panic("uop: Mallacc called with non-accelerator kind " + kind.String())
+	}
+	op := UOp{Kind: kind, Addr: addr, Dep1: dep, Dep2: NoDep, MCEntry: int16(entry), MCHit: hit, LatOverride: latOverride}
+	// Order the linked-list instructions among themselves.
+	if kind == McHdPop || kind == McHdPush || kind == McNxtPrefetch {
+		op.Dep2 = e.lastMC
+	}
+	v := e.push(op)
+	if kind == McHdPop || kind == McHdPush || kind == McNxtPrefetch {
+		e.lastMC = v
+	}
+	return v
+}

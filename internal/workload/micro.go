@@ -1,0 +1,136 @@
+package workload
+
+import "mallacc/internal/stats"
+
+// The six microbenchmarks of Section 5. Strided benchmarks fit in L1 and
+// are the best-case baselines; Gaussian ones have larger working sets.
+//
+// All microbenchmarks warm their free lists first ("run with sufficient
+// warmup time"): each exercised size class gets a small backing pool so
+// thread-cache lists have depth, as the real benchmarks accumulate during
+// their warmup phase.
+
+// strided is the common core of tp, tp_small and sized_deletes: per
+// iteration, a back-to-back malloc+free pair for each size in
+// [lo, hi] stepping by `step`.
+type strided struct {
+	name         string
+	lo, hi, step uint64
+	sized        bool
+	warmPerClass int
+}
+
+// NewTP returns the tp microbenchmark: strides 32..512 by 16 (25 size
+// classes), throughput oriented.
+func NewTP() Workload {
+	return &strided{name: "ubench.tp", lo: 32, hi: 512, step: 16, sized: false, warmPerClass: 8}
+}
+
+// NewTPSmall returns tp_small: strides only up to 128 so each iteration
+// touches a different free list and only four size classes are used.
+func NewTPSmall() Workload {
+	return &strided{name: "ubench.tp_small", lo: 32, hi: 128, step: 32, sized: false, warmPerClass: 8}
+}
+
+// NewSizedDeletes returns sized_deletes: a tp_small variant using eight
+// size classes and sized deallocation.
+func NewSizedDeletes() Workload {
+	return &strided{name: "ubench.sized_deletes", lo: 32, hi: 256, step: 32, sized: true, warmPerClass: 8}
+}
+
+func (s *strided) Name() string { return s.name }
+
+func (s *strided) Run(app App, budget int, rng *stats.RNG) {
+	// Warmup: give every size class list depth so steady state matches a
+	// long-running process.
+	var warm liveSet
+	for i := 0; i < s.warmPerClass; i++ {
+		for size := s.lo; size <= s.hi; size += s.step {
+			warm.add(app.Malloc(size), size)
+		}
+	}
+	warm.drainAll(app, s.sized)
+
+	calls := 0
+	for calls < budget {
+		for size := s.lo; size <= s.hi && calls < budget; size += s.step {
+			a := app.Malloc(size)
+			hint := uint64(0)
+			if s.sized {
+				hint = size
+			}
+			app.Free(a, hint)
+			calls += 2
+		}
+	}
+}
+
+// gaussian implements gauss / gauss_free / antagonist: 90% of requests are
+// small (16-64B), 10% relatively large (256-512B), sizes drawn from normal
+// distributions within each range.
+type gaussian struct {
+	name       string
+	freeProb   float64
+	antagonize bool
+	// maxLive bounds memory for the never-freeing variant (the paper runs
+	// finite iterations; we cap the live set and drop oldest handles
+	// without freeing them — the memory simply stays allocated).
+	maxLive int
+}
+
+// NewGauss returns gauss: realistic sizes, never frees — the lower bound
+// for free-list-centric optimizations.
+func NewGauss() Workload {
+	return &gaussian{name: "ubench.gauss", freeProb: 0, maxLive: 1 << 20}
+}
+
+// NewGaussFree returns gauss_free: same allocation behaviour, frees each
+// object with 50% probability.
+func NewGaussFree() Workload {
+	return &gaussian{name: "ubench.gauss_free", freeProb: 0.5}
+}
+
+// NewAntagonist returns antagonist: gauss_free plus the simulator callback
+// that evicts the LRU half of each L1/L2 set after every allocation.
+func NewAntagonist() Workload {
+	return &gaussian{name: "ubench.antagonist", freeProb: 0.5, antagonize: true}
+}
+
+func (g *gaussian) Name() string { return g.name }
+
+func (g *gaussian) drawSize(rng *stats.RNG) uint64 {
+	if rng.Float64() < 0.9 {
+		// Small: strings and small lists.
+		return uint64(rng.Gaussian(40, 12, 16, 64))
+	}
+	return uint64(rng.Gaussian(384, 64, 256, 512))
+}
+
+func (g *gaussian) Run(app App, budget int, rng *stats.RNG) {
+	var live liveSet
+	// Warmup pool so free lists have depth.
+	for i := 0; i < 64; i++ {
+		sz := g.drawSize(rng)
+		live.add(app.Malloc(sz), sz)
+	}
+	calls := 0
+	for calls < budget {
+		size := g.drawSize(rng)
+		a := app.Malloc(size)
+		calls++
+		if g.antagonize {
+			app.Antagonize()
+		}
+		if g.freeProb > 0 && rng.Bernoulli(g.freeProb) {
+			live.add(a, size)
+			k := rng.Intn(live.len())
+			fa, fs := live.removeAt(k)
+			app.Free(fa, fs)
+			calls++
+		} else if g.freeProb > 0 {
+			live.add(a, size)
+		} else if live.len() < g.maxLive {
+			live.add(a, size)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+// Footprinter is implemented by workloads that model an application
+// working set; the driver sizes its between-calls cache touches from it.
+type Footprinter interface {
+	Footprint() uint64
+}
+
+// FootprintOf returns a workload's application working-set size (0 when it
+// does not model one). Recorded traces carry their source workload's
+// footprint.
+func FootprintOf(w Workload) uint64 {
+	if t, ok := w.(*Trace); ok {
+		return t.Footprint
+	}
+	if f, ok := w.(Footprinter); ok {
+		return f.Footprint()
+	}
+	return 0
+}
+
+// Micro returns the six paper microbenchmarks in the order of Figure 4.
+func Micro() []Workload {
+	return []Workload{
+		NewAntagonist(),
+		NewGauss(),
+		NewGaussFree(),
+		NewSizedDeletes(),
+		NewTP(),
+		NewTPSmall(),
+	}
+}
+
+// Macro returns the eight macro workloads in the order of Figures 13/14.
+func Macro() []Workload {
+	return []Workload{
+		NewPerlbench(),
+		NewTonto(),
+		NewOmnetpp(),
+		NewXalancbmk(),
+		NewMasstreeSame(),
+		NewMasstreeWcol1(),
+		NewXapianAbstracts(),
+		NewXapianPages(),
+	}
+}
+
+// All returns every stock workload.
+func All() []Workload {
+	return append(Micro(), Macro()...)
+}
+
+// ByName finds a stock workload by its exact name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	return nil, false
+}

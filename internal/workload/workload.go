@@ -1,0 +1,74 @@
+// Package workload defines the allocation request generators the
+// evaluation drives through the simulated allocator: the paper's six
+// microbenchmarks (Sec. 5) with their exact allocation patterns, and
+// synthetic stand-ins for the eight macro workloads (SPEC CPU2006 subset,
+// masstree, xapian) parameterized to reproduce the published size-class
+// usage distributions (Fig. 6), allocation/free balance, and
+// allocator-time fractions (Fig. 18).
+//
+// Workloads are pure request generators: they see only the App interface
+// (malloc, free, application work between calls), so the same generator
+// runs against any allocator mode or hardware configuration.
+package workload
+
+import "mallacc/internal/stats"
+
+// App is what a workload sees of the simulated machine: allocator entry
+// points plus hooks to model the application in between.
+type App interface {
+	// Malloc allocates size bytes and returns the simulated address.
+	Malloc(size uint64) uint64
+	// Free releases an address; sizeHint is the allocation's requested
+	// size when the workload models sized delete, 0 otherwise.
+	Free(addr uint64, sizeHint uint64)
+	// Work models application execution between allocator calls: cycles
+	// of computation touching `lines` cache lines of the app's working
+	// set.
+	Work(cycles uint64, lines int)
+	// Antagonize evicts the LRU half of each L1/L2 set — the simulator
+	// callback of the antagonist microbenchmark.
+	Antagonize()
+}
+
+// Workload generates allocator traffic against an App until roughly
+// budget allocator calls have been issued.
+type Workload interface {
+	Name() string
+	Run(app App, budget int, rng *stats.RNG)
+}
+
+// liveSet tracks a workload's outstanding allocations.
+type liveSet struct {
+	addrs []uint64
+	sizes []uint64
+}
+
+func (l *liveSet) add(addr, size uint64) {
+	l.addrs = append(l.addrs, addr)
+	l.sizes = append(l.sizes, size)
+}
+
+func (l *liveSet) len() int { return len(l.addrs) }
+
+// removeAt removes and returns entry i (swap with last).
+func (l *liveSet) removeAt(i int) (addr, size uint64) {
+	addr, size = l.addrs[i], l.sizes[i]
+	last := len(l.addrs) - 1
+	l.addrs[i], l.sizes[i] = l.addrs[last], l.sizes[last]
+	l.addrs = l.addrs[:last]
+	l.sizes = l.sizes[:last]
+	return addr, size
+}
+
+// drainAll frees everything, oldest first.
+func (l *liveSet) drainAll(app App, sized bool) {
+	for i := range l.addrs {
+		hint := uint64(0)
+		if sized {
+			hint = l.sizes[i]
+		}
+		app.Free(l.addrs[i], hint)
+	}
+	l.addrs = l.addrs[:0]
+	l.sizes = l.sizes[:0]
+}

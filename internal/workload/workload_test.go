@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"testing"
+
+	"mallacc/internal/stats"
+)
+
+// fakeApp records the request stream without simulating anything.
+type fakeApp struct {
+	mallocs   []uint64
+	frees     int
+	sized     int
+	unsized   int
+	workCalls int
+	antagon   int
+	next      uint64
+	live      map[uint64]uint64 // addr -> size
+	t         *testing.T
+}
+
+func newFakeApp(t *testing.T) *fakeApp {
+	return &fakeApp{next: 0x10000000, live: map[uint64]uint64{}, t: t}
+}
+
+func (f *fakeApp) Malloc(size uint64) uint64 {
+	f.mallocs = append(f.mallocs, size)
+	f.next += 1 << 20
+	f.live[f.next] = size
+	return f.next
+}
+
+func (f *fakeApp) Free(addr, hint uint64) {
+	size, ok := f.live[addr]
+	if !ok {
+		f.t.Fatalf("free of unknown address %#x", addr)
+	}
+	delete(f.live, addr)
+	f.frees++
+	if hint == 0 {
+		f.unsized++
+	} else {
+		f.sized++
+		if hint != size {
+			f.t.Fatalf("sized free hint %d for a %d-byte allocation", hint, size)
+		}
+	}
+}
+
+func (f *fakeApp) Work(cycles uint64, lines int) { f.workCalls++ }
+func (f *fakeApp) Antagonize()                   { f.antagon++ }
+
+func run(t *testing.T, w Workload, budget int) *fakeApp {
+	t.Helper()
+	app := newFakeApp(t)
+	w.Run(app, budget, stats.NewRNG(5))
+	return app
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Micro()) != 6 {
+		t.Fatalf("micro count %d", len(Micro()))
+	}
+	if len(Macro()) != 8 {
+		t.Fatalf("macro count %d", len(Macro()))
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name()] {
+			t.Fatalf("duplicate workload name %s", w.Name())
+		}
+		seen[w.Name()] = true
+		got, ok := ByName(w.Name())
+		if !ok || got.Name() != w.Name() {
+			t.Fatalf("ByName(%s) failed", w.Name())
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName found a ghost")
+	}
+}
+
+func TestTPStridesSizes(t *testing.T) {
+	app := run(t, NewTP(), 2000)
+	if len(app.mallocs) == 0 {
+		t.Fatal("no mallocs")
+	}
+	distinct := map[uint64]bool{}
+	for _, s := range app.mallocs {
+		if s < 32 || s > 512 || s%16 != 0 {
+			t.Fatalf("tp issued size %d", s)
+		}
+		distinct[s] = true
+	}
+	if len(distinct) != 31 {
+		t.Fatalf("tp used %d sizes, want 31", len(distinct))
+	}
+	// Back-to-back pairs: steady-state frees track mallocs.
+	if app.frees < len(app.mallocs)*9/10 {
+		t.Fatalf("tp frees %d of %d mallocs", app.frees, len(app.mallocs))
+	}
+	if app.sized != 0 {
+		t.Fatal("tp should not use sized deletes")
+	}
+}
+
+func TestTPSmallFourSizes(t *testing.T) {
+	app := run(t, NewTPSmall(), 1000)
+	distinct := map[uint64]bool{}
+	for _, s := range app.mallocs {
+		distinct[s] = true
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("tp_small used %d sizes, want 4", len(distinct))
+	}
+}
+
+func TestSizedDeletesUsesSizedFrees(t *testing.T) {
+	app := run(t, NewSizedDeletes(), 1000)
+	if app.unsized != 0 {
+		t.Fatalf("%d unsized frees", app.unsized)
+	}
+	distinct := map[uint64]bool{}
+	for _, s := range app.mallocs {
+		distinct[s] = true
+	}
+	if len(distinct) != 8 {
+		t.Fatalf("sized_deletes used %d sizes, want 8", len(distinct))
+	}
+}
+
+func TestGaussSizeSplit(t *testing.T) {
+	app := run(t, NewGauss(), 20000)
+	small, large := 0, 0
+	for _, s := range app.mallocs {
+		switch {
+		case s >= 16 && s <= 64:
+			small++
+		case s >= 256 && s <= 512:
+			large++
+		default:
+			t.Fatalf("gauss issued size %d", s)
+		}
+	}
+	frac := float64(small) / float64(small+large)
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("small fraction %.3f, want ~0.9", frac)
+	}
+	if app.frees != 0 {
+		t.Fatal("gauss must never free")
+	}
+}
+
+func TestGaussFreeBalance(t *testing.T) {
+	app := run(t, NewGaussFree(), 20000)
+	ratio := float64(app.frees) / float64(len(app.mallocs))
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("free ratio %.2f, want ~0.5", ratio)
+	}
+	if app.antagon != 0 {
+		t.Fatal("gauss_free must not antagonize")
+	}
+}
+
+func TestAntagonistCallsBack(t *testing.T) {
+	app := run(t, NewAntagonist(), 5000)
+	// One antagonist callback per allocation (minus warmup).
+	if app.antagon == 0 {
+		t.Fatal("no antagonist callbacks")
+	}
+	if float64(app.antagon) < 0.4*float64(len(app.mallocs)) {
+		t.Fatalf("callbacks %d for %d mallocs", app.antagon, len(app.mallocs))
+	}
+}
+
+func TestMasstreeNeverFrees(t *testing.T) {
+	for _, w := range []Workload{NewMasstreeSame(), NewMasstreeWcol1()} {
+		app := run(t, w, 3000)
+		if app.frees != 0 {
+			t.Fatalf("%s freed %d objects", w.Name(), app.frees)
+		}
+		if app.workCalls == 0 {
+			t.Fatalf("%s did no application work", w.Name())
+		}
+	}
+}
+
+func TestMasstreeLargeAllocations(t *testing.T) {
+	app := run(t, NewMasstreeSame(), 3000)
+	large := 0
+	for _, s := range app.mallocs {
+		if s > 256<<10 {
+			large++
+		}
+	}
+	if large == 0 {
+		t.Fatal("masstree.same issued no page-allocator-bound requests")
+	}
+}
+
+func TestMacroBudgetRespected(t *testing.T) {
+	for _, w := range Macro() {
+		app := run(t, w, 5000)
+		calls := len(app.mallocs) + app.frees
+		if calls < 5000 {
+			t.Errorf("%s issued %d calls for budget 5000", w.Name(), calls)
+		}
+		if calls > 5000+3000 {
+			t.Errorf("%s overshot budget: %d calls", w.Name(), calls)
+		}
+	}
+}
+
+func TestXalancbmkBroadDistribution(t *testing.T) {
+	app := run(t, NewXalancbmk(), 30000)
+	distinct := map[uint64]bool{}
+	for _, s := range app.mallocs {
+		distinct[s] = true
+	}
+	if len(distinct) < 20 {
+		t.Fatalf("xalancbmk used only %d distinct sizes", len(distinct))
+	}
+}
+
+func TestFootprintOf(t *testing.T) {
+	if FootprintOf(NewTP()) != 0 {
+		t.Error("tp should have no modeled footprint")
+	}
+	if FootprintOf(NewXapianPages()) == 0 {
+		t.Error("xapian should model a footprint")
+	}
+}
+
+func TestLiveSetRemoveAt(t *testing.T) {
+	var l liveSet
+	l.add(1, 10)
+	l.add(2, 20)
+	l.add(3, 30)
+	a, s := l.removeAt(0)
+	if a != 1 || s != 10 || l.len() != 2 {
+		t.Fatalf("removeAt: %d %d len=%d", a, s, l.len())
+	}
+	// Swapped-in last element.
+	if l.addrs[0] != 3 {
+		t.Fatalf("swap-remove broken: %v", l.addrs)
+	}
+}
