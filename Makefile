@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench baseline clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with concurrent surfaces (registry, harness).
+race:
+	$(GO) test -race ./internal/telemetry ./internal/harness
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the pinned reference metrics (byte-reproducible at seed 1).
+baseline:
+	mkdir -p results/metrics
+	$(GO) run ./cmd/mallacc-bench -run fig13,fig14 -metrics -format json -seed 1 \
+		> results/metrics/baseline.json
+
+clean:
+	$(GO) clean ./...

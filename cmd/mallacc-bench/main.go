@@ -8,10 +8,16 @@
 //	mallacc-bench -run fig13      # run one experiment
 //	mallacc-bench -run fig13,fig14 -calls 100000
 //	mallacc-bench -list           # list experiment IDs
-//	mallacc-bench -o results/     # also write one text file per experiment
+//	mallacc-bench -o results/     # also write one report file per experiment
+//	mallacc-bench -run fig13 -format json        # machine-readable output
+//	mallacc-bench -run fig13 -metrics -format json  # + telemetry per run
+//
+// Reports go to stdout; timing and the run/failed exit summary go to
+// stderr, so redirecting stdout captures clean report data in any format.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +26,19 @@ import (
 	"time"
 
 	"mallacc/internal/harness"
+	"mallacc/internal/telemetry"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		calls = flag.Int("calls", 60000, "allocator-call budget per simulation run")
-		seeds = flag.Int("seeds", 6, "seeds for the significance study (table2)")
-		seed  = flag.Uint64("seed", 1, "base RNG seed")
-		out   = flag.String("o", "", "directory to write per-experiment text reports")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		calls   = flag.Int("calls", 60000, "allocator-call budget per simulation run")
+		seeds   = flag.Int("seeds", 6, "seeds for the significance study (table2)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		out     = flag.String("o", "", "directory to write per-experiment reports")
+		format  = flag.String("format", "text", "output format: text | json | csv")
+		metrics = flag.Bool("metrics", false, "attach each run's full telemetry snapshot to the reports")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -39,8 +48,14 @@ func main() {
 		}
 		return
 	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(1)
+	}
 
-	opt := harness.ExpOptions{Calls: *calls, Seeds: *seeds, Seed: *seed}
+	opt := harness.ExpOptions{Calls: *calls, Seeds: *seeds, Seed: *seed, Metrics: *metrics}
 	var selected []harness.Experiment
 	if *run == "" {
 		selected = harness.Experiments()
@@ -61,17 +76,110 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	var (
+		ran, failed int
+		total       time.Duration
+		reports     []*harness.Report // for the combined JSON document
+	)
 	for _, e := range selected {
 		start := time.Now()
-		rep := e.Run(opt)
-		fmt.Println(rep.String())
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		rep, err := runExperiment(e, opt)
+		elapsed := time.Since(start)
+		total += elapsed
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: FAILED after %.1fs: %v\n", e.ID, elapsed.Seconds(), err)
+			continue
+		}
+		ran++
+		fmt.Fprintf(os.Stderr, "%s: done in %.1fs\n", e.ID, elapsed.Seconds())
+
+		switch *format {
+		case "json":
+			reports = append(reports, rep) // emitted as one document below
+		case "csv":
+			b, err := rep.CSV()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(b)
+			fmt.Println()
+		default:
+			fmt.Println(rep.String())
+			if *metrics {
+				printMetricsText(rep)
+			}
+		}
 		if *out != "" {
-			path := filepath.Join(*out, e.ID+".txt")
-			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			b, err := rep.Render(*format)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, e.ID+formatExt(*format))
+			if err := os.WriteFile(path, b, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
+	}
+	if *format == "json" {
+		doc := map[string]any{
+			"tool":        "mallacc-bench",
+			"seed":        *seed,
+			"calls":       *calls,
+			"seeds":       *seeds,
+			"experiments": reports,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	}
+	fmt.Fprintf(os.Stderr, "%d experiments run, %d failed in %.1fs\n", ran, failed, total.Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runExperiment converts an experiment panic into an error so one failure
+// doesn't abort the whole suite.
+func runExperiment(e harness.Experiment, opt harness.ExpOptions) (rep *harness.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.Run(opt), nil
+}
+
+func formatExt(format string) string {
+	switch format {
+	case "json":
+		return ".json"
+	case "csv":
+		return ".csv"
+	default:
+		return ".txt"
+	}
+}
+
+// printMetricsText dumps each attached run snapshot as name/value lines.
+func printMetricsText(rep *harness.Report) {
+	for _, run := range rep.Runs {
+		fmt.Printf("-- metrics: %s --\n", run.Name)
+		for _, m := range run.Metrics.Metrics {
+			if m.Kind == telemetry.KindHistogram {
+				fmt.Printf("%-32s count=%d sum=%d mean=%.1f p50=%.1f p99=%.1f\n",
+					m.Name, m.Count, m.Sum, m.Mean, m.P50, m.P99)
+			} else {
+				fmt.Printf("%-32s %g\n", m.Name, m.Value)
+			}
+		}
+		fmt.Println()
 	}
 }

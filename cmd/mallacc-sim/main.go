@@ -5,13 +5,17 @@
 //
 //	mallacc-sim -workload xapian.pages -variant mallacc -entries 16
 //	mallacc-sim -workload ubench.tp_small -variant baseline -calls 100000
+//	mallacc-sim -workload xapian.pages -format json -metrics
 //	mallacc-sim -workloads   # list workload names
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"mallacc"
 )
@@ -23,6 +27,8 @@ func main() {
 		entries = flag.Int("entries", 32, "malloc cache entries (mallacc variant)")
 		calls   = flag.Int("calls", 60000, "allocator-call budget")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
+		format  = flag.String("format", "text", "output format: text | json | csv")
+		metrics = flag.Bool("metrics", false, "include the run's full telemetry snapshot")
 		list    = flag.Bool("workloads", false, "list workloads and exit")
 		record  = flag.String("record", "", "write the workload's request trace to this file and exit")
 		replay  = flag.String("replay", "", "run a previously recorded trace file instead of -workload")
@@ -95,6 +101,19 @@ func main() {
 		Seed:      *seed,
 	})
 
+	switch *format {
+	case "json":
+		emitJSON(r, *metrics)
+		return
+	case "csv":
+		emitCSV(r, *metrics)
+		return
+	case "", "text":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(1)
+	}
+
 	fmt.Printf("workload: %s  variant: %s\n", r.Workload, r.Variant)
 	fmt.Printf("mallocs: %d  frees: %d  thread-cache hits: %d  central fetches: %d  sampled: %d\n",
 		r.Heap.Mallocs, r.Heap.Frees, r.Heap.FastHits, r.Heap.CentralFetches, r.Heap.Sampled)
@@ -115,4 +134,101 @@ func main() {
 	}
 	fmt.Println("\nmalloc duration distribution (time-weighted):")
 	fmt.Print(r.MallocHist.RenderPDF(40))
+	if *metrics {
+		fmt.Println("\ntelemetry:")
+		for _, m := range r.Telemetry.Metrics {
+			if m.Kind == "histogram" {
+				fmt.Printf("%-32s count=%d sum=%d mean=%.1f p50=%.1f p99=%.1f\n",
+					m.Name, m.Count, m.Sum, m.Mean, m.P50, m.P99)
+			} else {
+				fmt.Printf("%-32s %g\n", m.Name, m.Value)
+			}
+		}
+	}
+}
+
+// summary is the machine-readable digest of one run.
+type summary struct {
+	Workload          string                   `json:"workload"`
+	Variant           string                   `json:"variant"`
+	Calls             uint64                   `json:"calls"`
+	MallocMeanCycles  float64                  `json:"malloc_mean_cycles"`
+	MallocP50Cycles   float64                  `json:"malloc_p50_cycles"`
+	MallocP99Cycles   float64                  `json:"malloc_p99_cycles"`
+	FastMallocMean    float64                  `json:"fast_malloc_mean_cycles"`
+	FreeMeanCycles    float64                  `json:"free_mean_cycles"`
+	AllocatorFraction float64                  `json:"allocator_fraction"`
+	TotalCycles       uint64                   `json:"total_cycles"`
+	IPC               float64                  `json:"ipc"`
+	Metrics           *mallacc.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+func summarize(r *mallacc.Result, withMetrics bool) summary {
+	s := summary{
+		Workload:          r.Workload,
+		Variant:           r.Variant.String(),
+		Calls:             r.MallocCalls + r.FreeCalls,
+		MallocMeanCycles:  r.MeanMallocCycles(),
+		MallocP50Cycles:   r.MallocHist.MedianCycles(),
+		MallocP99Cycles:   r.MallocHist.PercentileCycles(99),
+		FastMallocMean:    r.MeanFastMallocCycles(),
+		AllocatorFraction: r.AllocatorFraction(),
+		TotalCycles:       r.TotalCycles,
+		IPC:               r.CPU.IPC(),
+	}
+	if r.FreeCalls > 0 {
+		s.FreeMeanCycles = float64(r.FreeCycles) / float64(r.FreeCalls)
+	}
+	if withMetrics {
+		s.Metrics = &r.Telemetry
+	}
+	return s
+}
+
+func emitJSON(r *mallacc.Result, withMetrics bool) {
+	b, err := json.MarshalIndent(summarize(r, withMetrics), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(b, '\n'))
+}
+
+func emitCSV(r *mallacc.Result, withMetrics bool) {
+	s := summarize(r, withMetrics)
+	w := csv.NewWriter(os.Stdout)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	records := [][]string{
+		{"field", "value"},
+		{"workload", s.Workload},
+		{"variant", s.Variant},
+		{"calls", strconv.FormatUint(s.Calls, 10)},
+		{"malloc_mean_cycles", f(s.MallocMeanCycles)},
+		{"malloc_p50_cycles", f(s.MallocP50Cycles)},
+		{"malloc_p99_cycles", f(s.MallocP99Cycles)},
+		{"fast_malloc_mean_cycles", f(s.FastMallocMean)},
+		{"free_mean_cycles", f(s.FreeMeanCycles)},
+		{"allocator_fraction", f(s.AllocatorFraction)},
+		{"total_cycles", strconv.FormatUint(s.TotalCycles, 10)},
+		{"ipc", f(s.IPC)},
+	}
+	for _, rec := range records {
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if withMetrics {
+		for _, m := range r.Telemetry.Metrics {
+			if err := w.Write([]string{m.Name, f(m.Value)}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -10,7 +10,11 @@
 // an L3 hit ~34-36, a DRAM access ~200).
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+
+	"mallacc/internal/telemetry"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -37,11 +41,7 @@ func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
 
 // MissRate returns the miss ratio in [0, 1].
 func (s Stats) MissRate() float64 {
-	a := s.Accesses()
-	if a == 0 {
-		return 0
-	}
-	return float64(s.Misses) / float64(a)
+	return telemetry.Rate(s.Misses, s.Accesses())
 }
 
 // Cache is one set-associative level with true-LRU replacement implemented

@@ -1,5 +1,11 @@
 package cachesim
 
+import (
+	"strings"
+
+	"mallacc/internal/telemetry"
+)
+
 // HierarchyConfig sizes the full data-side hierarchy. Defaults follow the
 // Haswell configuration the paper simulates with XIOSim.
 type HierarchyConfig struct {
@@ -102,6 +108,18 @@ func (h *Hierarchy) fillAll(addr uint64) {
 		// levels use 64-byte lines here.
 		h.L2.InvalidateLine(evicted)
 		h.L1D.InvalidateLine(evicted)
+	}
+}
+
+// RegisterMetrics adds every level's hit/miss counters and miss-rate gauge
+// to reg, prefixed by the lowercased level name ("l1d.hits", "dtlb.miss_rate").
+func (h *Hierarchy) RegisterMetrics(reg *telemetry.Registry) {
+	for _, c := range []*Cache{h.L1D, h.L2, h.L3, h.DTLB} {
+		c := c
+		p := strings.ToLower(c.cfg.Name)
+		reg.Counter(p+".hits", func() uint64 { return c.Stats.Hits })
+		reg.Counter(p+".misses", func() uint64 { return c.Stats.Misses })
+		reg.Gauge(p+".miss_rate", func() float64 { return c.Stats.MissRate() })
 	}
 }
 

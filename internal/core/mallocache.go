@@ -14,6 +14,8 @@
 // CPU model from the micro-ops the instrumented allocator emits.
 package core
 
+import "mallacc/internal/telemetry"
+
 // Replacement selects the eviction policy.
 type Replacement uint8
 
@@ -350,19 +352,23 @@ func (m *MallocCache) Flush() {
 }
 
 // LookupHitRate returns the size-class lookup hit ratio.
-func (s Stats) LookupHitRate() float64 {
-	t := s.LookupHits + s.LookupMisses
-	if t == 0 {
-		return 0
-	}
-	return float64(s.LookupHits) / float64(t)
-}
+func (s Stats) LookupHitRate() float64 { return telemetry.Ratio(s.LookupHits, s.LookupMisses) }
 
 // PopHitRate returns the head-pop hit ratio.
-func (s Stats) PopHitRate() float64 {
-	t := s.PopHits + s.PopMisses
-	if t == 0 {
-		return 0
-	}
-	return float64(s.PopHits) / float64(t)
+func (s Stats) PopHitRate() float64 { return telemetry.Ratio(s.PopHits, s.PopMisses) }
+
+// RegisterMetrics adds the malloc cache's operation counters and hit-rate
+// gauges to reg under "mc.*".
+func (m *MallocCache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("mc.lookup.hits", func() uint64 { return m.Stats.LookupHits })
+	reg.Counter("mc.lookup.misses", func() uint64 { return m.Stats.LookupMisses })
+	reg.Counter("mc.pop.hits", func() uint64 { return m.Stats.PopHits })
+	reg.Counter("mc.pop.misses", func() uint64 { return m.Stats.PopMisses })
+	reg.Counter("mc.pushes", func() uint64 { return m.Stats.Pushes })
+	reg.Counter("mc.updates", func() uint64 { return m.Stats.Updates })
+	reg.Counter("mc.evictions", func() uint64 { return m.Stats.Evictions })
+	reg.Counter("mc.prefetches", func() uint64 { return m.Stats.Prefetches })
+	reg.Counter("mc.flushes", func() uint64 { return m.Stats.Flushes })
+	reg.Gauge("mc.lookup.hit_rate", func() float64 { return m.Stats.LookupHitRate() })
+	reg.Gauge("mc.pop.hit_rate", func() float64 { return m.Stats.PopHitRate() })
 }

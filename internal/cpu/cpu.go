@@ -21,6 +21,7 @@ package cpu
 
 import (
 	"mallacc/internal/cachesim"
+	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
 )
 
@@ -100,15 +101,19 @@ type Stats struct {
 	Cycles      uint64
 	Mispredicts uint64
 	Branches    uint64
+	// StepCycles attributes execution occupancy to the fast-path step tags
+	// (see uop.Step): for each executed micro-op, the cycles from issue to
+	// completion — plus any misprediction redirect its branch caused — are
+	// charged to its step. Steps overlap in an out-of-order window, so the
+	// per-step sums can exceed Cycles; they answer the additive "how much
+	// work does this step issue" question of the paper's Figure 4.
+	StepCycles [uop.NumSteps]uint64
+	// StepUops counts executed micro-ops per step tag.
+	StepUops [uop.NumSteps]uint64
 }
 
 // IPC returns retired micro-ops per cycle across all simulated calls.
-func (s Stats) IPC() float64 {
-	if s.Cycles == 0 {
-		return 0
-	}
-	return float64(s.Uops) / float64(s.Cycles)
-}
+func (s Stats) IPC() float64 { return telemetry.Rate(s.Uops, s.Cycles) }
 
 // portClass buckets kinds onto execution resources.
 type portClass uint8
@@ -162,6 +167,14 @@ type Core struct {
 	// analytic selects the dependence-graph reference model.
 	analytic bool
 
+	// stepObserver, when set, receives each call's per-step cycle and
+	// micro-op counts right after the call is scheduled (the telemetry
+	// step profiler rides this).
+	stepObserver func(cycles, uops []uint64)
+	// stepCyc/stepUops are the per-call attribution scratch.
+	stepCyc  [uop.NumSteps]uint64
+	stepUops [uop.NumSteps]uint64
+
 	// Per-call scratch, reused across calls.
 	fetchC, doneC, commitC []uint64
 	portUse                [numPortClasses]map[uint64]int
@@ -191,6 +204,40 @@ func New(cfg Config, mem *cachesim.Hierarchy) *Core {
 
 // Memory exposes the cache hierarchy (for antagonist callbacks and stats).
 func (c *Core) Memory() *cachesim.Hierarchy { return c.mem }
+
+// SetStepObserver installs a per-call attribution sink: after every
+// scheduled call, fn receives the call's cycles and micro-ops per step tag
+// (indexed by uop.Step, valid only during the callback).
+func (c *Core) SetStepObserver(fn func(cycles, uops []uint64)) { c.stepObserver = fn }
+
+// RegisterMetrics adds the core's retirement counters to reg under "cpu.*".
+// Per-step attribution is registered by the harness's step profiler, which
+// sees per-call granularity through SetStepObserver.
+func (c *Core) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("cpu.calls", func() uint64 { return c.Stats.Calls })
+	reg.Counter("cpu.uops", func() uint64 { return c.Stats.Uops })
+	reg.Counter("cpu.cycles", func() uint64 { return c.Stats.Cycles })
+	reg.Counter("cpu.branches", func() uint64 { return c.Stats.Branches })
+	reg.Counter("cpu.mispredicts", func() uint64 { return c.Stats.Mispredicts })
+	reg.Gauge("cpu.ipc", func() float64 { return c.Stats.IPC() })
+	reg.Gauge("cpu.mispredict_rate", func() float64 {
+		return telemetry.Rate(c.Stats.Mispredicts, c.Stats.Branches)
+	})
+}
+
+// finishCallAttribution folds the per-call step scratch into Stats, hands
+// it to the observer, and clears it for the next call.
+func (c *Core) finishCallAttribution() {
+	for s := range c.stepCyc {
+		c.Stats.StepCycles[s] += c.stepCyc[s]
+		c.Stats.StepUops[s] += c.stepUops[s]
+	}
+	if c.stepObserver != nil {
+		c.stepObserver(c.stepCyc[:], c.stepUops[:])
+	}
+	clear(c.stepCyc[:])
+	clear(c.stepUops[:])
+}
 
 // Config returns the active configuration.
 func (c *Core) Config() Config { return c.cfg }
@@ -378,11 +425,14 @@ func (c *Core) runAnalytic(ops []uop.UOp) uint64 {
 			end = e
 		}
 		c.Stats.Uops++
+		c.stepCyc[op.Step] += lat
+		c.stepUops[op.Step]++
 	}
 	dur := end - start
 	c.cycle = start + dur
 	c.Stats.Calls++
 	c.Stats.Cycles += dur
+	c.finishCallAttribution()
 	return dur
 }
 
@@ -520,6 +570,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 			c.Stats.Branches++
 			if c.bp.PredictAndUpdate(op.Site, op.Taken) != op.Taken {
 				c.Stats.Mispredicts++
+				c.stepCyc[op.Step] += c.cfg.MispredictPenalty
 				if r := done + c.cfg.MispredictPenalty; r > redirect {
 					redirect = r
 				}
@@ -528,6 +579,8 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 			done = issue + c.fixedLatency(op)
 		}
 		doneC[i] = done
+		c.stepCyc[op.Step] += done - issue
+		c.stepUops[op.Step]++
 
 		// Commit: in order, CommitWidth per cycle.
 		cWant := done + 1
@@ -551,6 +604,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 	c.cycle = end
 	c.Stats.Calls++
 	c.Stats.Cycles += dur
+	c.finishCallAttribution()
 	return dur
 }
 

@@ -75,7 +75,7 @@ func Ablation(opt ExpOptions) *Report {
 		}
 		tb.addRow(row...)
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 

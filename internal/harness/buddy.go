@@ -75,7 +75,7 @@ func Buddy(opt ExpOptions) *Report {
 			fmt.Sprintf("%.2fx", tcmFrag),
 			fmt.Sprintf("%.2fx", bh.Stats.InternalFragmentation()))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 

@@ -185,6 +185,6 @@ func CrossAlloc(opt ExpOptions) *Report {
 			imp(ja0, ja1),
 			imp(ha0, ha1))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }

@@ -53,8 +53,8 @@ func CtxSwitch(opt ExpOptions) *Report {
 		hitTb.addRow(hitRow...)
 	}
 	rep.Lines = append(rep.Lines, "allocator (malloc+free) time improvement:")
-	rep.Lines = append(rep.Lines, tb.render()...)
+	rep.addTable("allocator (malloc+free) time improvement", tb)
 	rep.Lines = append(rep.Lines, "", "malloc-cache pop hit rate:")
-	rep.Lines = append(rep.Lines, hitTb.render()...)
+	rep.addTable("malloc-cache pop hit rate", hitTb)
 	return rep
 }

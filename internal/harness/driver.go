@@ -12,6 +12,7 @@ import (
 	"mallacc/internal/mem"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
 	"mallacc/internal/workload"
 )
@@ -120,6 +121,11 @@ type Result struct {
 	CPU  cpu.Stats
 	// MC holds accelerator statistics (VariantMallacc only).
 	MC *core.Stats
+
+	// Telemetry is the run's full metrics snapshot: every layer's counters
+	// plus per-step cycle attribution (step.sizeclass.cycles, ...), keyed
+	// by dotted metric name.
+	Telemetry telemetry.Snapshot
 }
 
 // AllocatorCycles returns cycles spent in malloc+free.
@@ -245,6 +251,16 @@ func Run(opt Options) *Result {
 	c := cpu.New(cCfg, cachesim.NewDefaultHierarchy())
 	c.SetAnalytic(opt.AnalyticCPU)
 
+	// Telemetry: every layer registers into one registry; the step profiler
+	// rides the core's per-call attribution callback.
+	reg := telemetry.NewRegistry()
+	prof := telemetry.NewStepProfiler(StepNames())
+	prof.Register(reg)
+	c.SetStepObserver(prof.ObserveCall)
+	c.RegisterMetrics(reg)
+	c.Memory().RegisterMetrics(reg)
+	heap.RegisterMetrics(reg)
+
 	res := &Result{
 		Workload:    opt.Workload.Name(),
 		Variant:     opt.Variant,
@@ -274,8 +290,19 @@ func Run(opt Options) *Result {
 		mcStats := heap.MC.Stats
 		res.MC = &mcStats
 	}
+	res.Telemetry = reg.Snapshot()
 	heap.CheckInvariants()
 	return res
+}
+
+// StepNames returns the fast-path step tag names in uop.Step order — the
+// labels the per-step attribution metrics are registered under.
+func StepNames() []string {
+	names := make([]string, uop.NumSteps)
+	for i := range names {
+		names[i] = uop.Step(i).String()
+	}
+	return names
 }
 
 func (d *driver) Malloc(size uint64) uint64 {

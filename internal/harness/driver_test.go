@@ -32,3 +32,46 @@ func TestRunVariantsOnKeyWorkloads(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTelemetrySnapshot checks that every run carries the full registry
+// snapshot, including per-step cycle attribution, for all three variants.
+func TestRunTelemetrySnapshot(t *testing.T) {
+	w, _ := workload.ByName("ubench.tp_small")
+	for _, v := range []Variant{VariantBaseline, VariantMallacc, VariantLimit} {
+		r := Run(Options{Workload: w, Variant: v, Calls: 4000, Seed: 1})
+		for _, name := range []string{"step.sizeclass.cycles", "step.pushpop.cycles", "step.sampling.cycles",
+			"cpu.cycles", "l1d.misses", "heap.mallocs", "pageheap.spans.split"} {
+			if _, ok := r.Telemetry.Get(name); !ok {
+				t.Errorf("%s: metric %s missing from snapshot", v, name)
+			}
+		}
+		if got := r.Telemetry.Value("cpu.cycles"); got != float64(r.CPU.Cycles) {
+			t.Errorf("%s: cpu.cycles = %v, want %d", v, got, r.CPU.Cycles)
+		}
+		if v == VariantBaseline {
+			if r.Telemetry.Value("step.sizeclass.cycles") == 0 {
+				t.Errorf("baseline: step.sizeclass.cycles should be nonzero")
+			}
+			if r.Telemetry.Value("step.sampling.cycles") == 0 {
+				t.Errorf("baseline: step.sampling.cycles should be nonzero")
+			}
+		}
+		if v == VariantMallacc {
+			if _, ok := r.Telemetry.Get("mc.pop.hits"); !ok {
+				t.Errorf("mallacc: mc.pop.hits missing")
+			}
+		}
+		// Per-call attribution sums match the aggregate stats.
+		var sum uint64
+		for i := range r.CPU.StepCycles {
+			sum += r.CPU.StepCycles[i]
+		}
+		var snapSum float64
+		for _, n := range StepNames() {
+			snapSum += r.Telemetry.Value("step." + n + ".cycles")
+		}
+		if snapSum != float64(sum) {
+			t.Errorf("%s: snapshot step cycles %v != cpu.Stats %d", v, snapSum, sum)
+		}
+	}
+}

@@ -19,6 +19,9 @@ type ExpOptions struct {
 	Seeds int
 	// Seed is the base RNG seed.
 	Seed uint64
+	// Metrics attaches each run's full telemetry snapshot to the report
+	// (Report.Runs) in the comparison experiments.
+	Metrics bool
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -95,7 +98,19 @@ func Figure1(opt ExpOptions) *Report {
 		fmt.Sprintf("calls=%d mean=%.1f cycles median=%.1f cycles", r.MallocHist.N(), r.MallocHist.MeanCycles(), r.MallocHist.MedianCycles()))
 	rep.Lines = append(rep.Lines, "duration(cycles)      time-in-calls")
 	rep.Lines = append(rep.Lines, renderHistRows(r, 44)...)
+	rep.Series = append(rep.Series, histSeries("time-in-calls", r))
+	rep.addRun(opt.Metrics, "400.perlbench/baseline", r)
 	return rep
+}
+
+// histSeries converts a run's malloc-duration histogram into a typed series
+// of per-power-of-two-bucket time shares.
+func histSeries(name string, r *Result) Series {
+	s := Series{Name: name, Unit: "%"}
+	for _, b := range logBuckets(r) {
+		s.Points = append(s.Points, Point{Label: fmt.Sprintf("%d-%d", b.Lo, b.Hi), Value: b.TimePct})
+	}
+	return s
 }
 
 func renderHistRows(r *Result, width int) []string {
@@ -163,7 +178,7 @@ func Figure2(opt ExpOptions) *Report {
 			pct(r.MallocHist.TimeCDFBelow(10000)),
 			pct(r.MallocHist.TimeCDFBelow(100000)))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -210,7 +225,7 @@ func Table1(opt ExpOptions) *Report {
 		tb.addRow(c.name, fmt.Sprintf("%.1f", a), fmt.Sprintf("%.1f", d), pct(e), anchor)
 	}
 	tb.addRow("Average", "", "", pct(errSum/float64(len(table1Benchmarks))), "")
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -229,20 +244,21 @@ func Figure4(opt ExpOptions) *Report {
 	rep := &Report{ID: "fig4", Title: "Fast-path cycles by component (timing-ablated steps)"}
 	rep.Notes = append(rep.Notes, "paper: the three components together account for ~50% of fast-path cycles")
 	tb := &table{header: []string{"benchmark", "baseline", "-sampling", "-sizeclass", "-push/pop", "combined", "combined save"}}
-	ablate := func(w workload.Workload, steps ...uop.Step) float64 {
+	ablate := func(w workload.Workload, label string, steps ...uop.Step) float64 {
 		var drop [uop.NumSteps]bool
 		for _, s := range steps {
 			drop[s] = true
 		}
 		r := Run(Options{Workload: w, Variant: VariantBaseline, UseDropSteps: true, DropSteps: drop, Calls: opt.Calls, Seed: opt.Seed})
+		rep.addRun(opt.Metrics, w.Name()+"/"+label, r)
 		return r.MeanFastMallocCycles()
 	}
 	for _, w := range workload.Micro() {
-		base := ablate(w)
-		noSamp := ablate(w, uop.StepSampling)
-		noSz := ablate(w, uop.StepSizeClass)
-		noPop := ablate(w, uop.StepPushPop)
-		comb := ablate(w, uop.StepSampling, uop.StepSizeClass, uop.StepPushPop)
+		base := ablate(w, "baseline")
+		noSamp := ablate(w, "-sampling", uop.StepSampling)
+		noSz := ablate(w, "-sizeclass", uop.StepSizeClass)
+		noPop := ablate(w, "-pushpop", uop.StepPushPop)
+		comb := ablate(w, "combined", uop.StepSampling, uop.StepSizeClass, uop.StepPushPop)
 		save := 0.0
 		if base > 0 {
 			save = 100 * (base - comb) / base
@@ -251,7 +267,7 @@ func Figure4(opt ExpOptions) *Report {
 			fmt.Sprintf("%.1f", base), fmt.Sprintf("%.1f", noSamp), fmt.Sprintf("%.1f", noSz),
 			fmt.Sprintf("%.1f", noPop), fmt.Sprintf("%.1f", comb), pct(save))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -285,17 +301,20 @@ func Figure6(opt ExpOptions) *Report {
 		tb.addRow(w.Name(), fmt.Sprintf("%d", len(counts)),
 			fmt.Sprintf("%d", cover(50)), fmt.Sprintf("%d", cover(90)), fmt.Sprintf("%d", cover(99)))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
 // improvementRows runs baseline/mallacc/limit for every macro workload and
 // returns per-workload improvements of the chosen metric.
-func improvementRows(opt ExpOptions, metric func(*Result) float64) (names []string, mallacc, limit []float64) {
+func improvementRows(opt ExpOptions, rep *Report, metric func(*Result) float64) (names []string, mallacc, limit []float64) {
 	for _, w := range workload.Macro() {
 		base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 		mall := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
 		lim := Run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
+		rep.addRun(opt.Metrics, w.Name()+"/baseline", base)
+		rep.addRun(opt.Metrics, w.Name()+"/mallacc", mall)
+		rep.addRun(opt.Metrics, w.Name()+"/limit", lim)
 		b := metric(base)
 		names = append(names, w.Name())
 		mallacc = append(mallacc, 100*(b-metric(mall))/b)
@@ -311,12 +330,12 @@ func Figure13(opt ExpOptions) *Report {
 	rep := &Report{ID: "fig13", Title: "Allocator (malloc+free) time improvement, 32-entry cache"}
 	rep.Notes = append(rep.Notes, "paper: average 18% achieved of 28% projected by the limit study")
 	tb := &table{header: []string{"workload", "mallacc", "limit", ""}}
-	names, mall, lim := improvementRows(opt, func(r *Result) float64 { return float64(r.AllocatorCycles()) })
+	names, mall, lim := improvementRows(opt, rep, func(r *Result) float64 { return float64(r.AllocatorCycles()) })
 	for i := range names {
 		tb.addRow(names[i], pct(mall[i]), pct(lim[i]), bar(mall[i], 60, 30))
 	}
 	tb.addRow("Geomean", pct(geoImp(mall)), pct(geoImp(lim)), "")
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -341,12 +360,12 @@ func Figure14(opt ExpOptions) *Report {
 	rep := &Report{ID: "fig14", Title: "malloc() time improvement, 32-entry cache"}
 	rep.Notes = append(rep.Notes, "paper: average near 30%, over 40% for xapian and xalancbmk")
 	tb := &table{header: []string{"workload", "mallacc", ""}}
-	names, mall, _ := improvementRows(opt, func(r *Result) float64 { return float64(r.MallocCycles) })
+	names, mall, _ := improvementRows(opt, rep, func(r *Result) float64 { return float64(r.MallocCycles) })
 	for i := range names {
 		tb.addRow(names[i], pct(mall[i]), bar(mall[i], 60, 30))
 	}
 	tb.addRow("Geomean", pct(geoImp(mall)), "")
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -357,6 +376,7 @@ func durationComparison(id, title, wname string, opt ExpOptions, note string) *R
 	var results [3]*Result
 	for i, v := range []Variant{VariantBaseline, VariantLimit, VariantMallacc} {
 		results[i] = Run(Options{Workload: mustWorkload(wname), Variant: v, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
+		rep.addRun(opt.Metrics, wname+"/"+v.String(), results[i])
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf("median malloc cycles: baseline=%.0f limit=%.0f mallacc=%.0f",
 		results[0].MallocHist.MedianCycles(), results[1].MallocHist.MedianCycles(), results[2].MallocHist.MedianCycles()))
@@ -384,7 +404,7 @@ func durationComparison(id, title, wname string, opt ExpOptions, note string) *R
 		tb.addRow(fmt.Sprintf("%d-%d", 1<<uint(e), 1<<uint(e+1)),
 			pct(pdfs[0][e]), pct(pdfs[1][e]), pct(pdfs[2][e]))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -433,7 +453,7 @@ func Figure17(opt ExpOptions) *Report {
 		row = append(row, pct(100*(b-float64(lim.MallocCycles))/b))
 		tb.addRow(row...)
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -454,7 +474,7 @@ func Figure18(opt ExpOptions) *Report {
 		f := 100 * r.AllocatorFraction()
 		tb.addRow(w.Name(), pct(f), bar(f, 20, 40))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -490,7 +510,7 @@ func Table2(opt ExpOptions) *Report {
 	if len(sigSpeedups) > 0 {
 		tb.addRow("Mean (significant)", pct(stats.MeanOf(sigSpeedups)), "", "", "")
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }
 
@@ -516,6 +536,6 @@ func Area(ExpOptions) *Report {
 			fmt.Sprintf("%.0fx", m.PollackAdvantage(e, 0.0043)),
 		)
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// JSON renders the report as indented JSON: identity, notes, text lines,
+// typed tables/series and any attached per-run telemetry.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CSV renders the report's typed data as CSV: each table as a header record
+// plus data records (numeric cells as plain numbers, nulls empty), tables
+// separated by a blank line, and each series as label,value records headed
+// by the series name. Reports with neither tables nor series yield only the
+// id/title record.
+func (r *Report) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{"report", r.ID, r.Title}); err != nil {
+		return nil, err
+	}
+	for _, t := range r.Tables {
+		w.Flush()
+		buf.WriteByte('\n')
+		if t.Title != "" {
+			if err := w.Write([]string{"table", t.Title}); err != nil {
+				return nil, err
+			}
+		}
+		header := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			header[i] = c.Name
+		}
+		if err := w.Write(header); err != nil {
+			return nil, err
+		}
+		for _, row := range t.Rows {
+			rec := make([]string, len(row))
+			for i, cell := range row {
+				rec[i] = csvCell(cell)
+			}
+			if err := w.Write(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, s := range r.Series {
+		w.Flush()
+		buf.WriteByte('\n')
+		name := s.Name
+		if s.Unit != "" {
+			name += " (" + s.Unit + ")"
+		}
+		if err := w.Write([]string{"label", name}); err != nil {
+			return nil, err
+		}
+		for _, p := range s.Points {
+			if err := w.Write([]string{p.Label, strconv.FormatFloat(p.Value, 'g', -1, 64)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}
+
+func csvCell(cell any) string {
+	switch v := cell.(type) {
+	case nil:
+		return ""
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case string:
+		return v
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render returns the report in the requested format: "text" (the String
+// rendering), "json", or "csv".
+func (r *Report) Render(format string) ([]byte, error) {
+	switch format {
+	case "", "text":
+		return []byte(r.String()), nil
+	case "json":
+		b, err := r.JSON()
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+	case "csv":
+		return r.CSV()
+	default:
+		return nil, fmt.Errorf("harness: unknown format %q (want text, json or csv)", format)
+	}
+}

@@ -37,6 +37,6 @@ func Frag(opt ExpOptions) *Report {
 			fmt.Sprintf("%.2fx", ratio(base)),
 			fmt.Sprintf("%.2fx", ratio(mall)))
 	}
-	rep.Lines = tb.render()
+	rep.addTable("", tb)
 	return rep
 }

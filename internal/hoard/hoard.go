@@ -31,6 +31,7 @@ import (
 	"mallacc/internal/mem"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
 )
 
@@ -273,6 +274,21 @@ func (h *Heap) NewThread() *ThreadHeap {
 func (h *Heap) FlushMallocCache() {
 	if h.MC != nil {
 		h.MC.Flush()
+	}
+}
+
+// RegisterMetrics adds the allocator's event counters to reg under
+// "heap.*" (and "mc.*" in accelerated mode).
+func (h *Heap) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("heap.mallocs", func() uint64 { return h.Stats.Mallocs })
+	reg.Counter("heap.frees", func() uint64 { return h.Stats.Frees })
+	reg.Counter("heap.superblocks_carved", func() uint64 { return h.Stats.SuperblocksCarved })
+	reg.Counter("heap.migrated_to_global", func() uint64 { return h.Stats.MigratedToGlobal })
+	reg.Counter("heap.pulled_from_global", func() uint64 { return h.Stats.PulledFromGlobal })
+	reg.Counter("heap.large_mallocs", func() uint64 { return h.Stats.LargeAllocs })
+	reg.Counter("heap.sampled", func() uint64 { return h.Stats.Sampled })
+	if h.MC != nil {
+		h.MC.RegisterMetrics(reg)
 	}
 }
 

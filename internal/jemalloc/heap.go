@@ -7,6 +7,7 @@ import (
 	"mallacc/internal/mem"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
 )
 
@@ -208,6 +209,22 @@ func (h *Heap) NewThread() *ThreadCache {
 func (h *Heap) FlushMallocCache() {
 	if h.MC != nil {
 		h.MC.Flush()
+	}
+}
+
+// RegisterMetrics adds the allocator's event counters to reg under
+// "heap.*" (and "mc.*" in accelerated mode).
+func (h *Heap) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("heap.mallocs", func() uint64 { return h.Stats.Mallocs })
+	reg.Counter("heap.frees", func() uint64 { return h.Stats.Frees })
+	reg.Counter("heap.tcache_hits", func() uint64 { return h.Stats.TcacheHits })
+	reg.Counter("heap.fills", func() uint64 { return h.Stats.Fills })
+	reg.Counter("heap.flushes", func() uint64 { return h.Stats.Flushes })
+	reg.Counter("heap.slabs_made", func() uint64 { return h.Stats.SlabsMade })
+	reg.Counter("heap.large_mallocs", func() uint64 { return h.Stats.LargeAlloc })
+	reg.Counter("heap.sampled", func() uint64 { return h.Stats.Sampled })
+	if h.MC != nil {
+		h.MC.RegisterMetrics(reg)
 	}
 }
 

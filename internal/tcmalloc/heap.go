@@ -6,6 +6,7 @@ import (
 	"mallacc/internal/core"
 	"mallacc/internal/mem"
 	"mallacc/internal/stats"
+	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
 )
 
@@ -153,6 +154,86 @@ func (h *Heap) Threads() []*ThreadCache { return h.threads }
 func (h *Heap) FlushMallocCache() {
 	if h.MC != nil {
 		h.MC.Flush()
+	}
+}
+
+// RegisterMetrics adds every allocator tier's counters to reg: top-level
+// events under "heap.*", the span allocator under "pageheap.*", the central
+// free lists (aggregated across size classes) under "central.*", the thread
+// caches (aggregated across threads) under "tc.*", the sampling machinery
+// under "sampler.*", and — in ModeMallacc — the malloc cache under "mc.*".
+// Aggregation closures read live state, so threads registered after this
+// call are still counted.
+func (h *Heap) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("heap.mallocs", func() uint64 { return h.Stats.Mallocs })
+	reg.Counter("heap.frees", func() uint64 { return h.Stats.Frees })
+	reg.Counter("heap.fast_hits", func() uint64 { return h.Stats.FastHits })
+	reg.Counter("heap.central_fetches", func() uint64 { return h.Stats.CentralFetches })
+	reg.Counter("heap.large_mallocs", func() uint64 { return h.Stats.LargeMallocs })
+	reg.Counter("heap.large_frees", func() uint64 { return h.Stats.LargeFrees })
+	reg.Counter("heap.sampled", func() uint64 { return h.Stats.Sampled })
+
+	ph := h.PageHeap
+	reg.Counter("pageheap.spans.allocated", func() uint64 { return ph.SpansAllocated })
+	reg.Counter("pageheap.spans.freed", func() uint64 { return ph.SpansFreed })
+	reg.Counter("pageheap.spans.split", func() uint64 { return ph.SpansSplit })
+	reg.Counter("pageheap.grow_calls", func() uint64 { return ph.GrowCalls })
+	reg.Gauge("pageheap.free_pages", func() float64 { return float64(ph.FreePages) })
+
+	central := func(read func(*CentralFreeList) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range h.Central {
+				if c != nil {
+					t += read(c)
+				}
+			}
+			return t
+		}
+	}
+	reg.Counter("central.transfer.hits", central(func(c *CentralFreeList) uint64 { return c.TransferHits }))
+	reg.Counter("central.transfer.misses", central(func(c *CentralFreeList) uint64 { return c.TransferMisses }))
+	reg.Counter("central.spans.requested", central(func(c *CentralFreeList) uint64 { return c.SpansRequested }))
+	reg.Counter("central.spans.returned", central(func(c *CentralFreeList) uint64 { return c.SpansReturned }))
+	reg.Gauge("central.free_objects", func() float64 {
+		var t int
+		for _, c := range h.Central {
+			if c != nil {
+				t += c.FreeObjects
+			}
+		}
+		return float64(t)
+	})
+
+	thread := func(read func(*ThreadCache) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, tc := range h.threads {
+				t += read(tc)
+			}
+			return t
+		}
+	}
+	reg.Counter("tc.hits", thread(func(tc *ThreadCache) uint64 { return tc.Hits }))
+	reg.Counter("tc.misses", thread(func(tc *ThreadCache) uint64 { return tc.Misses }))
+	reg.Counter("tc.scavenges", thread(func(tc *ThreadCache) uint64 { return tc.Scavenges }))
+	reg.Counter("tc.list_too_longs", thread(func(tc *ThreadCache) uint64 { return tc.ListTooLongs }))
+	reg.Gauge("tc.hit_rate", func() float64 {
+		var hits, misses uint64
+		for _, tc := range h.threads {
+			hits += tc.Hits
+			misses += tc.Misses
+		}
+		return telemetry.Ratio(hits, misses)
+	})
+	reg.Counter("sampler.samples", thread(func(tc *ThreadCache) uint64 { return tc.sampler.Samples }))
+
+	if h.HWCounter != nil {
+		reg.Counter("sampler.hw.interrupts", func() uint64 { return h.HWCounter.Interrupts })
+		reg.Counter("sampler.hw.bytes", func() uint64 { return h.HWCounter.BytesAccumulated })
+	}
+	if h.MC != nil {
+		h.MC.RegisterMetrics(reg)
 	}
 }
 

@@ -32,6 +32,7 @@ type PageHeap struct {
 	// Stats
 	SpansAllocated uint64
 	SpansFreed     uint64
+	SpansSplit     uint64
 	GrowCalls      uint64
 	FreePages      uint64
 }
@@ -123,6 +124,7 @@ func (ph *PageHeap) carve(e *uop.Emitter, s *Span, n uint64) *Span {
 		s.Length = n
 		ph.recordSpan(e, rest)
 		ph.insertFree(e, rest)
+		ph.SpansSplit++
 	}
 	s.Location = SpanInUse
 	s.SizeClass = 0

@@ -1,0 +1,255 @@
+// Package telemetry is the unified observability layer of the simulator.
+// Every simulated component — the out-of-order core, the cache hierarchy,
+// the malloc cache, the allocator tiers, the sampler — registers named
+// metrics into one Registry, and every consumer (the experiment harness,
+// the CLIs, the library facade) reads them back through one Snapshot/Delta
+// surface keyed by dotted metric names (e.g. "mc.pop.hits", "l1d.misses",
+// "pageheap.spans.split", "step.pushpop.cycles").
+//
+// The existing per-package stats structs remain the storage — they are
+// cheap plain-field counters on simulation hot paths — and the registry
+// reads them through source closures at snapshot time. The registry is
+// therefore the single query surface; the structs are its backing store.
+// Registration is write-once per run: components register at construction
+// and the registry is never mutated during simulation, so snapshots are
+// safe to take from any goroutine once a run has finished.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mallacc/internal/stats"
+)
+
+// Ratio returns hits / (hits + misses), the canonical hit-rate helper every
+// layer previously reimplemented. Zero traffic yields 0.
+func Ratio(hits, misses uint64) float64 {
+	t := hits + misses
+	if t == 0 {
+		return 0
+	}
+	return float64(hits) / float64(t)
+}
+
+// Rate returns num / den, guarding the empty denominator. It covers the
+// non-hit/miss ratios (IPC = uops/cycles, miss rate = misses/accesses).
+func Rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Kind classifies a metric.
+type Kind string
+
+const (
+	// KindCounter is a monotonically nondecreasing event count.
+	KindCounter Kind = "counter"
+	// KindGauge is an instantaneous value (rates, occupancies).
+	KindGauge Kind = "gauge"
+	// KindHistogram is a log-bucketed distribution of per-event values.
+	KindHistogram Kind = "histogram"
+)
+
+// Metric is one named value of a Snapshot.
+type Metric struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Value holds the counter or gauge reading (counters are exact until
+	// 2^53, far beyond any simulated run).
+	Value float64 `json:"value"`
+	// Histogram summary fields (KindHistogram only).
+	Count uint64  `json:"count,omitempty"`
+	Sum   uint64  `json:"sum,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Snapshot is an immutable point-in-time reading of a Registry, sorted by
+// metric name.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get returns the metric with the given name.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Value returns the named counter/gauge value (0 when absent).
+func (s Snapshot) Value(name string) float64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// Delta returns s - prev: counters and histogram counts/sums subtract
+// (clamped at zero), gauges keep their current reading. Metrics absent from
+// prev pass through unchanged.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{Metrics: make([]Metric, len(s.Metrics))}
+	copy(out.Metrics, s.Metrics)
+	for i := range out.Metrics {
+		m := &out.Metrics[i]
+		p, ok := prev.Get(m.Name)
+		if !ok || m.Kind == KindGauge {
+			continue
+		}
+		if m.Value >= p.Value {
+			m.Value -= p.Value
+		} else {
+			m.Value = 0
+		}
+		if m.Kind == KindHistogram {
+			if m.Count >= p.Count {
+				m.Count -= p.Count
+			} else {
+				m.Count = 0
+			}
+			if m.Sum >= p.Sum {
+				m.Sum -= p.Sum
+			} else {
+				m.Sum = 0
+			}
+			if m.Count > 0 {
+				m.Mean = float64(m.Sum) / float64(m.Count)
+			} else {
+				m.Mean = 0
+			}
+			// Percentiles are not subtractable; the delta keeps the
+			// current reading.
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot as one object keyed by metric name:
+// counters and gauges as plain numbers, histograms as summary objects.
+// This is the compact machine-readable form the exporters and
+// results/metrics/baseline.json use.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	out := make(map[string]any, len(s.Metrics))
+	for _, m := range s.Metrics {
+		switch m.Kind {
+		case KindHistogram:
+			out[m.Name] = map[string]any{
+				"count": m.Count, "sum": m.Sum,
+				"mean": jsonRound(m.Mean), "p50": jsonRound(m.P50), "p99": jsonRound(m.P99),
+			}
+		case KindCounter:
+			out[m.Name] = uint64(m.Value)
+		default:
+			out[m.Name] = jsonRound(m.Value)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// jsonRound trims float noise to 6 decimal places so snapshots diff cleanly
+// across toolchains.
+func jsonRound(v float64) float64 {
+	const scale = 1e6
+	if v >= 0 {
+		return float64(int64(v*scale+0.5)) / scale
+	}
+	return -float64(int64(-v*scale+0.5)) / scale
+}
+
+// Registry holds the registered metric sources of one simulated system.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]func() uint64
+	gauges   map[string]func() float64
+	hists    map[string]*stats.DurationHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]func() uint64{},
+		gauges:   map[string]func() float64{},
+		hists:    map[string]*stats.DurationHist{},
+	}
+}
+
+// Counter registers a counter source under name. Registering a duplicate
+// name panics: dotted names are the registry's only keyspace, and silent
+// shadowing would corrupt every downstream report.
+func (r *Registry) Counter(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkFresh(name)
+	r.counters[name] = fn
+}
+
+// Gauge registers a gauge source under name.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkFresh(name)
+	r.gauges[name] = fn
+}
+
+// Histogram registers a histogram under name. The registry reads it at
+// snapshot time; the caller keeps feeding it.
+func (r *Registry) Histogram(name string, h *stats.DurationHist) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkFresh(name)
+	r.hists[name] = h
+}
+
+func (r *Registry) checkFresh(name string) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.gauges) + len(r.hists)
+}
+
+// Snapshot reads every registered source and returns the sorted result.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, fn := range r.counters {
+		ms = append(ms, Metric{Name: name, Kind: KindCounter, Value: float64(fn())})
+	}
+	for name, fn := range r.gauges {
+		ms = append(ms, Metric{Name: name, Kind: KindGauge, Value: fn()})
+	}
+	for name, h := range r.hists {
+		m := Metric{Name: name, Kind: KindHistogram, Count: h.N(), Sum: h.TotalCycles()}
+		m.Value = float64(h.N())
+		if h.N() > 0 {
+			m.Mean = h.MeanCycles()
+			m.P50 = h.MedianCycles()
+			m.P99 = h.PercentileCycles(99)
+		}
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return Snapshot{Metrics: ms}
+}

@@ -41,6 +41,7 @@ import (
 	"mallacc/internal/jemalloc"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
 	"mallacc/internal/workload"
 )
@@ -224,7 +225,39 @@ type System struct {
 	em   *uop.Emitter
 	core *cpu.Core
 	cfg  Config
+	reg  *telemetry.Registry
 }
+
+// MetricsSnapshot is a point-in-time reading of a system's telemetry
+// registry, keyed by dotted metric names ("mc.pop.hits", "l1d.misses",
+// "step.pushpop.cycles"). See Snapshot.Get, Value and Delta.
+type MetricsSnapshot = telemetry.Snapshot
+
+// Metric is one named value of a MetricsSnapshot.
+type Metric = telemetry.Metric
+
+// initTelemetry wires the system's registry: step attribution from the
+// core's per-call callback, then every layer's counters.
+func (s *System) initTelemetry() {
+	s.reg = telemetry.NewRegistry()
+	prof := telemetry.NewStepProfiler(harness.StepNames())
+	prof.Register(s.reg)
+	s.core.SetStepObserver(prof.ObserveCall)
+	s.core.RegisterMetrics(s.reg)
+	s.core.Memory().RegisterMetrics(s.reg)
+	switch {
+	case s.hheap != nil:
+		s.hheap.RegisterMetrics(s.reg)
+	case s.jheap != nil:
+		s.jheap.RegisterMetrics(s.reg)
+	default:
+		s.heap.RegisterMetrics(s.reg)
+	}
+}
+
+// Telemetry returns the system's full metrics snapshot: allocator tiers,
+// caches, core, malloc cache, and per-step cycle attribution.
+func (s *System) Telemetry() MetricsSnapshot { return s.reg.Snapshot() }
 
 // NewSystem builds a system from cfg.
 func NewSystem(cfg Config) *System {
@@ -253,6 +286,7 @@ func NewSystem(cfg Config) *System {
 		s.hheap = hoard.New(hCfg)
 		s.hth = s.hheap.NewThread()
 		s.em = s.hheap.Em
+		s.initTelemetry()
 		return s
 	}
 	if cfg.Allocator == Jemalloc {
@@ -267,6 +301,7 @@ func NewSystem(cfg Config) *System {
 		s.jheap = jemalloc.New(jCfg)
 		s.jtc = s.jheap.NewThread()
 		s.em = s.jheap.Em
+		s.initTelemetry()
 		return s
 	}
 	hCfg := tcmalloc.DefaultConfig()
@@ -280,6 +315,7 @@ func NewSystem(cfg Config) *System {
 	s.heap = tcmalloc.New(hCfg)
 	s.tc = s.heap.NewThread()
 	s.em = s.heap.Em
+	s.initTelemetry()
 	return s
 }
 
