@@ -13,9 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with concurrent surfaces (registry, harness).
+# Race-check everything; internal/multicore runs one goroutine per
+# simulated core, so the whole tree must be race-clean.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/harness
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -25,6 +26,8 @@ baseline:
 	mkdir -p results/metrics
 	$(GO) run ./cmd/mallacc-bench -run fig13,fig14 -metrics -format json -seed 1 \
 		> results/metrics/baseline.json
+	$(GO) run ./cmd/mallacc-bench -run scale -format json -seed 1 \
+		> results/metrics/multicore.json
 
 clean:
 	$(GO) clean ./...

@@ -35,6 +35,7 @@ func main() {
 		calls   = flag.Int("calls", 60000, "allocator-call budget per simulation run")
 		seeds   = flag.Int("seeds", 6, "seeds for the significance study (table2)")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		cores   = flag.Int("cores", 16, "max core count for the multi-core scaling sweep (scale)")
 		out     = flag.String("o", "", "directory to write per-experiment reports")
 		format  = flag.String("format", "text", "output format: text | json | csv")
 		metrics = flag.Bool("metrics", false, "attach each run's full telemetry snapshot to the reports")
@@ -55,7 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := harness.ExpOptions{Calls: *calls, Seeds: *seeds, Seed: *seed, Metrics: *metrics}
+	opt := harness.ExpOptions{Calls: *calls, Seeds: *seeds, Seed: *seed, Metrics: *metrics, Cores: *cores}
 	var selected []harness.Experiment
 	if *run == "" {
 		selected = harness.Experiments()
@@ -131,6 +132,7 @@ func main() {
 			"seed":        *seed,
 			"calls":       *calls,
 			"seeds":       *seeds,
+			"cores":       *cores,
 			"experiments": reports,
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")

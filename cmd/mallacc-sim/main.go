@@ -25,8 +25,9 @@ func main() {
 		wname   = flag.String("workload", "ubench.tp_small", "workload name")
 		variant = flag.String("variant", "baseline", "baseline | mallacc | limit")
 		entries = flag.Int("entries", 32, "malloc cache entries (mallacc variant)")
-		calls   = flag.Int("calls", 60000, "allocator-call budget")
+		calls   = flag.Int("calls", 60000, "allocator-call budget (split across cores when -cores > 1)")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
+		cores   = flag.Int("cores", 1, "simulated core count; > 1 runs the multi-core engine")
 		format  = flag.String("format", "text", "output format: text | json | csv")
 		metrics = flag.Bool("metrics", false, "include the run's full telemetry snapshot")
 		list    = flag.Bool("workloads", false, "list workloads and exit")
@@ -93,6 +94,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *cores > 1 {
+		runCluster(w, v, *entries, *calls, *seed, *cores, *format, *metrics)
+		return
+	}
+
 	r := mallacc.Run(mallacc.RunOptions{
 		Workload:  w,
 		Variant:   v,
@@ -144,6 +150,175 @@ func main() {
 				fmt.Printf("%-32s %g\n", m.Name, m.Value)
 			}
 		}
+	}
+}
+
+// runCluster executes the workload on a simulated multi-core machine and
+// emits the multi-core digest in the requested format.
+func runCluster(w mallacc.Workload, v mallacc.Variant, entries, calls int, seed uint64, cores int, format string, metrics bool) {
+	perCore := calls / cores
+	if perCore < 1 {
+		perCore = 1
+	}
+	r := mallacc.RunCluster(mallacc.ClusterConfig{
+		Cores:        cores,
+		Variant:      v,
+		MCEntries:    entries,
+		Workload:     w,
+		CallsPerCore: perCore,
+		Seed:         seed,
+	})
+
+	switch format {
+	case "json":
+		b, err := json.MarshalIndent(clusterSummarize(r, metrics), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	case "csv":
+		emitClusterCSV(r, metrics)
+		return
+	case "", "text":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", format)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %s  variant: %s  cores: %d\n", r.Workload, r.Variant, r.Cores)
+	fmt.Printf("mallocs: %d  frees: %d  remote frees: %d  epochs: %d\n",
+		r.MallocCalls, r.FreeCalls, r.RemoteFrees, r.Epochs)
+	fmt.Printf("malloc: mean %.1f cycles  allocator share %.2f%%  (busy %d cycles, wall %d)\n",
+		r.MeanMallocCycles(), 100*r.AllocatorFraction(), r.TotalCycles, r.WallCycles)
+	fmt.Printf("central lock: %.2f cycles/call (%d contended of %d acquisitions)  pageheap lock: %d cycles\n",
+		r.LockCyclesPerCall(), r.CentralLock.Contended, r.CentralLock.Acquisitions, r.PageHeapLock.Cycles())
+	if r.MC != nil {
+		fmt.Printf("malloc cache: lookup hit %.1f%%  pop hit %.1f%% (aggregated over %d cores)\n",
+			100*r.MCLookupHitRate(), 100*r.MCPopHitRate(), r.Cores)
+	}
+	fmt.Println("\nper-core breakdown:")
+	fmt.Printf("%-5s %10s %8s %12s %12s %10s %8s\n",
+		"core", "mallocs", "frees", "malloc mean", "total cycles", "remote in", "yields")
+	for i, cs := range r.PerCore {
+		mean := 0.0
+		if cs.MallocCalls > 0 {
+			mean = float64(cs.MallocCycles) / float64(cs.MallocCalls)
+		}
+		fmt.Printf("%-5d %10d %8d %12.1f %12d %10d %8d\n",
+			i, cs.MallocCalls, cs.FreeCalls, mean, cs.TotalCycles, cs.RemoteDrained, cs.Yields)
+	}
+	if metrics {
+		fmt.Println("\ntelemetry:")
+		for _, m := range r.Telemetry.Metrics {
+			if m.Kind == "histogram" {
+				fmt.Printf("%-40s count=%d sum=%d mean=%.1f p50=%.1f p99=%.1f\n",
+					m.Name, m.Count, m.Sum, m.Mean, m.P50, m.P99)
+			} else {
+				fmt.Printf("%-40s %g\n", m.Name, m.Value)
+			}
+		}
+	}
+}
+
+// clusterSummary is the machine-readable digest of one multi-core run.
+type clusterSummary struct {
+	Workload          string                   `json:"workload"`
+	Variant           string                   `json:"variant"`
+	Cores             int                      `json:"cores"`
+	MallocCalls       uint64                   `json:"malloc_calls"`
+	FreeCalls         uint64                   `json:"free_calls"`
+	RemoteFrees       uint64                   `json:"remote_frees"`
+	Epochs            uint64                   `json:"epochs"`
+	MallocMeanCycles  float64                  `json:"malloc_mean_cycles"`
+	AllocatorFraction float64                  `json:"allocator_fraction"`
+	TotalCycles       uint64                   `json:"total_cycles"`
+	WallCycles        uint64                   `json:"wall_cycles"`
+	LockCyclesPerCall float64                  `json:"lock_cycles_per_call"`
+	MCLookupHitRate   float64                  `json:"mc_lookup_hit_rate,omitempty"`
+	MCPopHitRate      float64                  `json:"mc_pop_hit_rate,omitempty"`
+	PerCore           []mallacc.CoreStats      `json:"per_core"`
+	Metrics           *mallacc.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+func clusterSummarize(r *mallacc.ClusterResult, withMetrics bool) clusterSummary {
+	s := clusterSummary{
+		Workload:          r.Workload,
+		Variant:           r.Variant.String(),
+		Cores:             r.Cores,
+		MallocCalls:       r.MallocCalls,
+		FreeCalls:         r.FreeCalls,
+		RemoteFrees:       r.RemoteFrees,
+		Epochs:            r.Epochs,
+		MallocMeanCycles:  r.MeanMallocCycles(),
+		AllocatorFraction: r.AllocatorFraction(),
+		TotalCycles:       r.TotalCycles,
+		WallCycles:        r.WallCycles,
+		LockCyclesPerCall: r.LockCyclesPerCall(),
+		PerCore:           r.PerCore,
+	}
+	if r.MC != nil {
+		s.MCLookupHitRate = r.MCLookupHitRate()
+		s.MCPopHitRate = r.MCPopHitRate()
+	}
+	if withMetrics {
+		s.Metrics = &r.Telemetry
+	}
+	return s
+}
+
+func emitClusterCSV(r *mallacc.ClusterResult, withMetrics bool) {
+	s := clusterSummarize(r, withMetrics)
+	w := csv.NewWriter(os.Stdout)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	records := [][]string{
+		{"field", "value"},
+		{"workload", s.Workload},
+		{"variant", s.Variant},
+		{"cores", strconv.Itoa(s.Cores)},
+		{"malloc_calls", u(s.MallocCalls)},
+		{"free_calls", u(s.FreeCalls)},
+		{"remote_frees", u(s.RemoteFrees)},
+		{"epochs", u(s.Epochs)},
+		{"malloc_mean_cycles", f(s.MallocMeanCycles)},
+		{"allocator_fraction", f(s.AllocatorFraction)},
+		{"total_cycles", u(s.TotalCycles)},
+		{"wall_cycles", u(s.WallCycles)},
+		{"lock_cycles_per_call", f(s.LockCyclesPerCall)},
+	}
+	if r.MC != nil {
+		records = append(records,
+			[]string{"mc_lookup_hit_rate", f(s.MCLookupHitRate)},
+			[]string{"mc_pop_hit_rate", f(s.MCPopHitRate)})
+	}
+	for i, cs := range s.PerCore {
+		p := fmt.Sprintf("core%d_", i)
+		records = append(records,
+			[]string{p + "mallocs", u(cs.MallocCalls)},
+			[]string{p + "frees", u(cs.FreeCalls)},
+			[]string{p + "total_cycles", u(cs.TotalCycles)},
+			[]string{p + "remote_drained", u(cs.RemoteDrained)})
+	}
+	for _, rec := range records {
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if withMetrics {
+		for _, m := range r.Telemetry.Metrics {
+			if err := w.Write([]string{m.Name, f(m.Value)}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -9,11 +9,20 @@
 //	mallacc-trace                      # warm malloc/free in both modes
 //	mallacc-trace -size 4096 -mode mallacc
 //	mallacc-trace -cold                # include the cold (first-call) trace
+//	mallacc-trace -format json         # machine-readable dump
+//
+// Trace data goes to stdout; timing and diagnostics go to stderr, so
+// redirecting stdout captures clean data in any format.
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+	"time"
 
 	"mallacc/internal/cachesim"
 	"mallacc/internal/cpu"
@@ -23,42 +32,104 @@ import (
 
 func main() {
 	var (
-		size = flag.Uint64("size", 64, "request size in bytes")
-		mode = flag.String("mode", "both", "baseline | mallacc | both")
-		cold = flag.Bool("cold", false, "also dump the first (cold) call")
+		size   = flag.Uint64("size", 64, "request size in bytes")
+		mode   = flag.String("mode", "both", "baseline | mallacc | both")
+		cold   = flag.Bool("cold", false, "also dump the first (cold) call")
+		format = flag.String("format", "text", "output format: text | json | csv")
 	)
 	flag.Parse()
 
-	if *mode == "both" || *mode == "baseline" {
-		dump(tcmalloc.ModeBaseline, *size, *cold)
+	var modes []tcmalloc.Mode
+	switch *mode {
+	case "both":
+		modes = []tcmalloc.Mode{tcmalloc.ModeBaseline, tcmalloc.ModeMallacc}
+	case "baseline":
+		modes = []tcmalloc.Mode{tcmalloc.ModeBaseline}
+	case "mallacc":
+		modes = []tcmalloc.Mode{tcmalloc.ModeMallacc}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want baseline, mallacc or both)\n", *mode)
+		os.Exit(1)
 	}
-	if *mode == "both" || *mode == "mallacc" {
-		dump(tcmalloc.ModeMallacc, *size, *cold)
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(1)
 	}
+
+	start := time.Now()
+	var dumps []traceDump
+	for _, m := range modes {
+		dumps = append(dumps, collect(m, *size, *cold)...)
+	}
+
+	switch *format {
+	case "json":
+		b, err := json.MarshalIndent(dumps, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	case "csv":
+		emitCSV(dumps)
+	default:
+		for _, d := range dumps {
+			fmt.Printf("== %s %s: %d uops, %d cycles ==\n", d.Mode, d.Label, len(d.Ops), d.Cycles)
+			printTrace(d)
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d traces dumped in %.1fms\n",
+		len(dumps), float64(time.Since(start).Microseconds())/1000)
 }
 
-func dump(mode tcmalloc.Mode, size uint64, cold bool) {
+// traceDump is one allocator call's scheduled micro-op stream.
+type traceDump struct {
+	Mode   string   `json:"mode"`
+	Label  string   `json:"label"`
+	Uops   int      `json:"uops"`
+	Cycles uint64   `json:"cycles"`
+	Ops    []opDump `json:"ops"`
+}
+
+// opDump is one micro-op; Dep1/Dep2 are -1 when absent.
+type opDump struct {
+	Index   int    `json:"i"`
+	Kind    string `json:"kind"`
+	Step    string `json:"step"`
+	Addr    string `json:"addr,omitempty"`
+	Dep1    int    `json:"dep1"`
+	Dep2    int    `json:"dep2"`
+	Site    int    `json:"site,omitempty"`
+	Taken   *bool  `json:"taken,omitempty"`
+	MCEntry int    `json:"mc_entry,omitempty"`
+	MCHit   *bool  `json:"mc_hit,omitempty"`
+}
+
+// collect runs the warm-up protocol for one mode and captures the traces.
+func collect(mode tcmalloc.Mode, size uint64, cold bool) []traceDump {
 	cfg := tcmalloc.DefaultConfig()
 	cfg.Mode = mode
 	h := tcmalloc.New(cfg)
 	tc := h.NewThread()
 	c := cpu.New(cpu.DefaultConfig(), cachesim.NewDefaultHierarchy())
 
+	var dumps []traceDump
 	run := func(label string, f func()) {
 		h.Em.Reset()
 		f()
 		tr := h.Em.Trace()
 		cyc := c.RunTrace(tr)
-		fmt.Printf("== %s %s: %d uops, %d cycles ==\n", mode, label, len(tr.Ops), cyc)
-		printTrace(tr)
-		fmt.Println()
+		dumps = append(dumps, dumpTrace(mode, label, tr, cyc))
 	}
 
 	if cold {
 		run(fmt.Sprintf("malloc(%d) [cold]", size), func() { h.Malloc(tc, size) })
 	}
 	// Warm up: build list depth, warm caches and predictors (traces run
-	// through the core without being printed).
+	// through the core without being captured).
 	quiet := func(f func()) {
 		h.Em.Reset()
 		f()
@@ -81,28 +152,100 @@ func dump(mode tcmalloc.Mode, size uint64, cold bool) {
 	var addr uint64
 	run(fmt.Sprintf("malloc(%d) [warm]", size), func() { addr = h.Malloc(tc, size) })
 	run(fmt.Sprintf("free(%#x) [warm, sized]", addr), func() { h.Free(tc, addr, size) })
+	return dumps
 }
 
-func printTrace(tr uop.Trace) {
+func dumpTrace(mode tcmalloc.Mode, label string, tr uop.Trace, cyc uint64) traceDump {
+	d := traceDump{Mode: mode.String(), Label: label, Uops: len(tr.Ops), Cycles: cyc}
 	for i, op := range tr.Ops {
+		od := opDump{
+			Index: i,
+			Kind:  op.Kind.String(),
+			Step:  op.Step.String(),
+			Dep1:  depIndex(op.Dep1),
+			Dep2:  depIndex(op.Dep2),
+		}
+		if op.Kind.IsMemory() {
+			od.Addr = fmt.Sprintf("%#x", op.Addr)
+		}
+		if op.Kind == uop.Branch {
+			od.Site = int(op.Site)
+			taken := op.Taken
+			od.Taken = &taken
+		}
+		if op.Kind.IsMallacc() {
+			od.MCEntry = int(op.MCEntry)
+			hit := op.MCHit
+			od.MCHit = &hit
+		}
+		d.Ops = append(d.Ops, od)
+	}
+	return d
+}
+
+func depIndex(d uop.Val) int {
+	if d == uop.NoDep {
+		return -1
+	}
+	return int(d)
+}
+
+func printTrace(d traceDump) {
+	for _, op := range d.Ops {
 		deps := ""
-		if op.Dep1 != uop.NoDep {
+		if op.Dep1 >= 0 {
 			deps = fmt.Sprintf(" d1=%d", op.Dep1)
 		}
-		if op.Dep2 != uop.NoDep {
+		if op.Dep2 >= 0 {
 			deps += fmt.Sprintf(" d2=%d", op.Dep2)
 		}
 		addr := ""
-		if op.Kind.IsMemory() {
-			addr = fmt.Sprintf(" addr=%#x", op.Addr)
+		if op.Addr != "" {
+			addr = " addr=" + op.Addr
 		}
 		extra := ""
-		if op.Kind == uop.Branch {
-			extra = fmt.Sprintf(" site=%d taken=%v", op.Site, op.Taken)
+		if op.Taken != nil {
+			extra = fmt.Sprintf(" site=%d taken=%v", op.Site, *op.Taken)
 		}
-		if op.Kind.IsMallacc() {
-			extra = fmt.Sprintf(" entry=%d hit=%v", op.MCEntry, op.MCHit)
+		if op.MCHit != nil {
+			extra = fmt.Sprintf(" entry=%d hit=%v", op.MCEntry, *op.MCHit)
 		}
-		fmt.Printf("  %3d  %-14s %-10s%s%s%s\n", i, op.Kind, op.Step, addr, deps, extra)
+		fmt.Printf("  %3d  %-14s %-10s%s%s%s\n", op.Index, op.Kind, op.Step, addr, deps, extra)
+	}
+}
+
+func emitCSV(dumps []traceDump) {
+	w := csv.NewWriter(os.Stdout)
+	header := []string{"mode", "label", "cycles", "i", "kind", "step", "addr", "dep1", "dep2", "site", "taken", "mc_entry", "mc_hit"}
+	if err := w.Write(header); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range dumps {
+		for _, op := range d.Ops {
+			taken, hit := "", ""
+			if op.Taken != nil {
+				taken = strconv.FormatBool(*op.Taken)
+			}
+			if op.MCHit != nil {
+				hit = strconv.FormatBool(*op.MCHit)
+			}
+			rec := []string{
+				d.Mode, d.Label, strconv.FormatUint(d.Cycles, 10),
+				strconv.Itoa(op.Index), op.Kind, op.Step, op.Addr,
+				strconv.Itoa(op.Dep1), strconv.Itoa(op.Dep2),
+				strconv.Itoa(op.Site), taken,
+				strconv.Itoa(op.MCEntry), hit,
+			}
+			if err := w.Write(rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

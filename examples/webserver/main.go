@@ -1,13 +1,15 @@
-// Webserver: drive the System API directly with a datacenter-style
-// request-handling loop — the kind of workload the paper's introduction
-// motivates ("speeding up multiple shared low-level routines that appear
-// in many applications").
+// Webserver: a datacenter-style request-handling loop served concurrently
+// on a simulated multi-core machine — the kind of workload the paper's
+// introduction motivates ("speeding up multiple shared low-level routines
+// that appear in many applications").
 //
 // Each simulated request parses headers (several small string
 // allocations), builds a response buffer, does application work against a
 // shared in-memory index (cache pressure), and frees everything at request
-// end. Periodic context switches flush the malloc cache, showing the
-// flush-without-writeback property of Sec. 4.1.
+// end. The request loop is expressed as a mallacc.Workload, so
+// mallacc.NewCluster can shard it across N cores: every core runs its own
+// slice of the request stream on a private CPU, thread cache, and malloc
+// cache, while span refills contend on the shared central free lists.
 //
 //	go run ./examples/webserver
 package main
@@ -19,89 +21,75 @@ import (
 )
 
 const (
-	requests       = 5000
-	headerAllocs   = 6
-	ctxSwitchEvery = 500
+	serverCores  = 4
+	requests     = 5000 // per core
+	headerAllocs = 6
 )
 
-type result struct {
-	allocCycles, totalCycles uint64
-	lookupHit, popHit        float64
-}
+// callsPerRequest is one request's allocator-call footprint: headers plus
+// the response buffer, each malloc'd then freed.
+const callsPerRequest = 2 * (headerAllocs + 1)
 
-func serve(variant mallacc.Variant) result {
-	cfg := mallacc.DefaultConfig()
-	cfg.Variant = variant
-	cfg.Seed = 99
-	sys := mallacc.NewSystem(cfg)
-	rng := mallacc.NewRNG(2026)
+// requestLoop is the server's per-core shard: it replays the request
+// handling loop against whatever App (simulated core) the cluster hands it.
+type requestLoop struct{}
 
-	// The server's in-memory index: a 4 MiB working set it touches while
-	// handling each request.
-	const indexBase = uint64(1) << 41
-	const indexLines = (4 << 20) / 64
-	touch := make([]uint64, 8)
+func (requestLoop) Name() string { return "webserver.requests" }
 
-	var allocCycles uint64
-	start := sys.Cycle()
-	for req := 0; req < requests; req++ {
-		var live [][2]uint64
+func (requestLoop) Run(app mallacc.App, budget int, rng *mallacc.RNG) {
+	live := make([][2]uint64, 0, headerAllocs+1)
+	for calls := 0; calls+callsPerRequest <= budget; calls += callsPerRequest {
+		live = live[:0]
 
 		// Parse headers: small, short-lived strings.
 		for i := 0; i < headerAllocs; i++ {
 			sz := uint64(16 + rng.Intn(112))
-			a, c := sys.Malloc(sz)
-			allocCycles += c
-			live = append(live, [2]uint64{a, sz})
+			live = append(live, [2]uint64{app.Malloc(sz), sz})
 		}
 		// Response buffer, occasionally large.
 		bufSize := uint64(512 + 256*uint64(rng.Intn(6)))
 		if rng.Bernoulli(0.005) {
 			bufSize = 300 << 10 // large response streams from spans
 		}
-		a, c := sys.Malloc(bufSize)
-		allocCycles += c
-		live = append(live, [2]uint64{a, bufSize})
+		live = append(live, [2]uint64{app.Malloc(bufSize), bufSize})
 
-		// Application work: index lookups and response rendering.
-		for i := range touch {
-			touch[i] = indexBase + rng.Uint64n(indexLines)*64
-		}
-		sys.Work(800+rng.Uint64n(1200), touch)
+		// Application work: index lookups and response rendering against
+		// the server's in-memory index.
+		app.Work(800+rng.Uint64n(1200), 8)
 
 		// Request teardown: sized deletes.
 		for _, blk := range live {
-			allocCycles += sys.Free(blk[0], blk[1])
+			app.Free(blk[0], blk[1])
 		}
+	}
+}
 
-		if (req+1)%ctxSwitchEvery == 0 {
-			sys.ContextSwitch()
-		}
-	}
-	sys.CheckInvariants()
-	st := sys.MallocCacheStats()
-	return result{
-		allocCycles: allocCycles,
-		totalCycles: sys.Cycle() - start,
-		lookupHit:   st.LookupHitRate(),
-		popHit:      st.PopHitRate(),
-	}
+func serve(variant mallacc.Variant) *mallacc.ClusterResult {
+	return mallacc.RunCluster(mallacc.ClusterConfig{
+		Cores:        serverCores,
+		Variant:      variant,
+		Workload:     requestLoop{},
+		CallsPerCore: requests * callsPerRequest,
+		Seed:         99,
+	})
 }
 
 func main() {
 	base := serve(mallacc.Baseline)
 	acc := serve(mallacc.Mallacc)
 
-	fmt.Printf("simulated web server: %d requests, %d allocator calls each\n\n", requests, headerAllocs+1)
-	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "mallacc")
-	fmt.Printf("%-22s %14d %14d\n", "allocator cycles", base.allocCycles, acc.allocCycles)
-	fmt.Printf("%-22s %14d %14d\n", "total cycles", base.totalCycles, acc.totalCycles)
-	fmt.Printf("%-22s %13.1f%% %13.1f%%\n", "allocator fraction",
-		100*float64(base.allocCycles)/float64(base.totalCycles),
-		100*float64(acc.allocCycles)/float64(acc.totalCycles))
+	fmt.Printf("simulated web server: %d cores, %d requests/core, %d allocator calls each\n\n",
+		serverCores, requests, callsPerRequest)
+	fmt.Printf("%-26s %14s %14s\n", "", "baseline", "mallacc")
+	fmt.Printf("%-26s %14d %14d\n", "allocator cycles", base.AllocatorCycles(), acc.AllocatorCycles())
+	fmt.Printf("%-26s %14d %14d\n", "wall cycles (slowest core)", base.WallCycles, acc.WallCycles)
+	fmt.Printf("%-26s %13.1f%% %13.1f%%\n", "allocator fraction",
+		100*base.AllocatorFraction(), 100*acc.AllocatorFraction())
+	fmt.Printf("%-26s %14.2f %14.2f\n", "central lock cy/call", base.LockCyclesPerCall(), acc.LockCyclesPerCall())
+	fmt.Printf("%-26s %14d %14d\n", "cross-core frees", base.RemoteFrees, acc.RemoteFrees)
 	fmt.Printf("\nallocator time saved: %.1f%%   full-run speedup: %.2f%%\n",
-		100*(1-float64(acc.allocCycles)/float64(base.allocCycles)),
-		100*(1-float64(acc.totalCycles)/float64(base.totalCycles)))
-	fmt.Printf("malloc cache (despite %d context-switch flushes): lookup hit %.1f%%, pop hit %.1f%%\n",
-		requests/ctxSwitchEvery, 100*acc.lookupHit, 100*acc.popHit)
+		100*(1-float64(acc.AllocatorCycles())/float64(base.AllocatorCycles())),
+		100*(1-float64(acc.WallCycles)/float64(base.WallCycles)))
+	fmt.Printf("malloc cache (summed over %d cores): lookup hit %.1f%%, pop hit %.1f%%\n",
+		serverCores, 100*acc.MCLookupHitRate(), 100*acc.MCPopHitRate())
 }

@@ -22,6 +22,8 @@ type ExpOptions struct {
 	// Metrics attaches each run's full telemetry snapshot to the report
 	// (Report.Runs) in the comparison experiments.
 	Metrics bool
+	// Cores caps the multi-core scaling sweep (default 16).
+	Cores int
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -33,6 +35,9 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Cores <= 0 {
+		o.Cores = 16
 	}
 	return o
 }
@@ -65,6 +70,7 @@ func Experiments() []Experiment {
 		{"ctxswitch", "Mallacc under context switches (extension)", CtxSwitch},
 		{"frag", "Memory footprint vs live bytes (extension)", Frag},
 		{"buddy", "Hardware buddy allocator tradeoff (extension)", Buddy},
+		{"scale", "Core-count scaling under central-heap contention (extension)", Scale},
 	}
 }
 

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"mallacc/internal/multicore"
+)
+
+// scaleSweep is the core counts the scaling study visits (capped by
+// ExpOptions.Cores).
+var scaleSweep = []int{1, 2, 4, 8, 16}
+
+// Scale is the multi-core scaling study: the same per-core workload shard
+// runs on 1..16 cores under each variant, with producer/consumer cross-core
+// frees keeping the shared transfer cache and central lists hot. It reports
+// the allocator's share of machine time, mean malloc latency, the per-core
+// malloc-cache hit rates, and central-lock contention cycles per allocator
+// call — the paper's per-thread-cache story re-examined where the shared
+// tiers are actually contended.
+func Scale(opt ExpOptions) *Report {
+	opt = opt.withDefaults()
+	w := mustWorkload("xapian.abstracts")
+	// Weak scaling: every core gets the same shard, so per-core cache and
+	// accelerator behaviour is comparable across machine widths while
+	// total pressure on the shared heap grows with the core count.
+	callsPerCore := opt.Calls / 8
+	if callsPerCore < 2000 {
+		callsPerCore = 2000
+	}
+
+	rep := &Report{ID: "scale", Title: "Core-count scaling under central-heap contention"}
+	rep.Notes = append(rep.Notes,
+		"each core runs the same shard (weak scaling); 15% of frees execute on a peer core",
+		fmt.Sprintf("workload=%s calls/core=%d seed=%d", w.Name(), callsPerCore, opt.Seed),
+		"lock cy/call charges spin-wait + hand-off at the central free lists; pageheap lock reported separately")
+
+	variants := []multicore.Variant{multicore.Baseline, multicore.Mallacc, multicore.Limit}
+	lockSeries := map[multicore.Variant]*Series{}
+	shareSeries := map[multicore.Variant]*Series{}
+	for _, v := range variants {
+		lockSeries[v] = &Series{Name: "lock-cycles-per-call/" + v.String(), Unit: "cycles"}
+		shareSeries[v] = &Series{Name: "allocator-share/" + v.String(), Unit: "%"}
+	}
+
+	tb := &table{header: []string{"cores", "variant", "alloc share", "malloc mean", "mc lookup", "mc pop", "lock cy/call", "pageheap cy/call", "remote frees"}}
+	for _, cores := range scaleSweep {
+		if cores > opt.Cores {
+			continue
+		}
+		for _, v := range variants {
+			r := multicore.Run(multicore.Config{
+				Cores:        cores,
+				Variant:      v,
+				Workload:     w,
+				CallsPerCore: callsPerCore,
+				Seed:         opt.Seed,
+			})
+			calls := r.MallocCalls + r.FreeCalls
+			phPerCall := 0.0
+			if calls > 0 {
+				phPerCall = float64(r.PageHeapLock.Cycles()) / float64(calls)
+			}
+			lookup, pop := "-", "-"
+			if r.MC != nil {
+				lookup = pct(100 * r.MCLookupHitRate())
+				pop = pct(100 * r.MCPopHitRate())
+			}
+			tb.addRow(
+				fmt.Sprintf("%d", cores),
+				v.String(),
+				pct(100*r.AllocatorFraction()),
+				fmt.Sprintf("%.1f", r.MeanMallocCycles()),
+				lookup,
+				pop,
+				fmt.Sprintf("%.2f", r.LockCyclesPerCall()),
+				fmt.Sprintf("%.2f", phPerCall),
+				fmt.Sprintf("%d", r.RemoteFrees),
+			)
+			label := fmt.Sprintf("%d", cores)
+			lockSeries[v].Points = append(lockSeries[v].Points, Point{Label: label, Value: r.LockCyclesPerCall()})
+			shareSeries[v].Points = append(shareSeries[v].Points, Point{Label: label, Value: 100 * r.AllocatorFraction()})
+			if opt.Metrics {
+				rep.Runs = append(rep.Runs, RunMetrics{
+					Name:    fmt.Sprintf("%s/%s/%dcores", w.Name(), v.String(), cores),
+					Metrics: r.Telemetry,
+				})
+			}
+		}
+	}
+	rep.addTable("core-count scaling", tb)
+	for _, v := range variants {
+		rep.Series = append(rep.Series, *lockSeries[v], *shareSeries[v])
+	}
+	return rep
+}

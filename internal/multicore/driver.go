@@ -1,0 +1,173 @@
+package multicore
+
+import (
+	"mallacc/internal/core"
+	"mallacc/internal/cpu"
+	"mallacc/internal/mem"
+	"mallacc/internal/stats"
+	"mallacc/internal/tcmalloc"
+)
+
+// remoteFree is one cross-core free waiting in a consumer core's inbox.
+type remoteFree struct {
+	addr uint64
+	hint uint64
+}
+
+// remotePostCycles is the producer-side cost of publishing a pointer to a
+// peer's free queue (a store plus the fence a real MPSC push needs).
+const remotePostCycles = 20
+
+// CoreStats is one core's contribution to a Result.
+type CoreStats struct {
+	MallocCalls, MallocCycles         uint64
+	FastMallocCalls, FastMallocCycles uint64
+	FreeCalls, FreeCycles             uint64
+	AppCycles                         uint64
+	RemotePosted, RemoteDrained       uint64
+	Yields                            uint64
+	// DoneEpoch is the epoch in which this core's shard finished.
+	DoneEpoch uint64
+	// TotalCycles is the core's final logical clock.
+	TotalCycles uint64
+}
+
+// coreState is one simulated core: it implements workload.App, so each
+// shard drives its own core exactly the way the single-core harness driver
+// drives its one core — but malloc/free execute against the shared heap,
+// and every entry point is a scheduling checkpoint.
+type coreState struct {
+	eng *Engine
+	id  int
+	cpu *cpu.Core
+	tc  *tcmalloc.ThreadCache
+	mc  *core.MallocCache   // nil unless Variant == Mallacc
+	hw  *core.SampleCounter // nil unless Variant == Mallacc
+	rng *stats.RNG
+
+	budget   int
+	epochEnd uint64
+	done     bool
+
+	inbox    []remoteFree
+	inboxPos int
+
+	footBase  uint64
+	footLines uint64
+	touchBuf  []uint64
+
+	res CoreStats
+}
+
+func (cs *coreState) Malloc(size uint64) uint64 {
+	cs.checkpoint()
+	cs.drainInbox()
+	h := cs.eng.heap
+	h.Em.Reset()
+	fastBefore := h.Stats.FastHits
+	addr := h.Malloc(cs.tc, size)
+	cyc := cs.cpu.RunTrace(h.Em.Trace())
+	cs.res.MallocCycles += cyc
+	cs.res.MallocCalls++
+	if h.Stats.FastHits != fastBefore {
+		cs.res.FastMallocCycles += cyc
+		cs.res.FastMallocCalls++
+	}
+	cs.eng.trackLive(addr, size)
+	return addr
+}
+
+func (cs *coreState) Free(addr uint64, sizeHint uint64) {
+	cs.checkpoint()
+	cs.drainInbox()
+	eng := cs.eng
+	if len(eng.cores) > 1 && eng.cfg.RemoteFreeProb > 0 && cs.rng.Bernoulli(eng.cfg.RemoteFreeProb) {
+		// Post to a peer: the consumer executes the free on its own core,
+		// returning this core's memory through its thread cache and the
+		// shared transfer cache.
+		peer := eng.cores[cs.pickPeer()]
+		peer.inbox = append(peer.inbox, remoteFree{addr: addr, hint: sizeHint})
+		cs.res.RemotePosted++
+		cs.cpu.AdvanceApp(remotePostCycles, nil)
+		cs.res.AppCycles += remotePostCycles
+		return
+	}
+	cs.freeLocal(addr, sizeHint)
+}
+
+// pickPeer chooses a uniformly random core other than cs.
+func (cs *coreState) pickPeer() int {
+	p := int(cs.rng.Uint64n(uint64(len(cs.eng.cores) - 1)))
+	if p >= cs.id {
+		p++
+	}
+	return p
+}
+
+// freeLocal executes one free on this core.
+func (cs *coreState) freeLocal(addr, sizeHint uint64) {
+	h := cs.eng.heap
+	cs.eng.untrackLive(addr)
+	h.Em.Reset()
+	h.Free(cs.tc, addr, sizeHint)
+	cyc := cs.cpu.RunTrace(h.Em.Trace())
+	cs.res.FreeCycles += cyc
+	cs.res.FreeCalls++
+}
+
+// drainInbox executes the frees peers have posted since this core last ran.
+// The caller must hold the engine mutex with cs active.
+func (cs *coreState) drainInbox() {
+	for cs.inboxPos < len(cs.inbox) {
+		rf := cs.inbox[cs.inboxPos]
+		cs.inboxPos++
+		cs.freeLocal(rf.addr, rf.hint)
+		cs.res.RemoteDrained++
+	}
+	cs.inbox = cs.inbox[:0]
+	cs.inboxPos = 0
+}
+
+func (cs *coreState) Work(cycles uint64, lines int) {
+	cs.checkpoint()
+	if cs.footLines > 0 && lines > 0 {
+		if cap(cs.touchBuf) < lines {
+			cs.touchBuf = make([]uint64, lines)
+		}
+		buf := cs.touchBuf[:lines]
+		for i := range buf {
+			buf[i] = cs.footBase + cs.rng.Uint64n(cs.footLines)*mem.CacheLineSize
+		}
+		cs.cpu.AdvanceApp(cycles, buf)
+	} else {
+		cs.cpu.AdvanceApp(cycles, nil)
+	}
+	cs.res.AppCycles += cycles
+}
+
+func (cs *coreState) Antagonize() {
+	cs.cpu.Memory().Antagonize()
+}
+
+// trackLive maintains the shared rounded-footprint accounting (the engine
+// mutex is held whenever a core executes).
+func (eng *Engine) trackLive(addr, size uint64) {
+	rounded := size
+	if _, r, ok := eng.heap.SizeMap.ClassFor(size); ok {
+		rounded = r
+	} else {
+		rounded = mem.RoundUp(size, mem.PageSize)
+	}
+	eng.liveSizes[addr] = rounded
+	eng.liveBytes += rounded
+	if eng.liveBytes > eng.peakLive {
+		eng.peakLive = eng.liveBytes
+	}
+}
+
+func (eng *Engine) untrackLive(addr uint64) {
+	if r, ok := eng.liveSizes[addr]; ok {
+		eng.liveBytes -= r
+		delete(eng.liveSizes, addr)
+	}
+}

@@ -1,0 +1,326 @@
+// Package multicore is the N-core concurrent simulation engine: each
+// simulated core owns a private cpu.Core, cache hierarchy, thread cache and
+// (in the Mallacc variant) malloc cache, runs its workload shard in its own
+// goroutine, and shares one tcmalloc.Heap whose central free lists, transfer
+// cache and page heap are guarded by a contention-aware spinlock model
+// (spinlock.go). The paper's macro evaluation is multithreaded server code —
+// masstree, xapian — where TCMalloc's whole design is per-thread caches in
+// front of shared pools; this engine is what lets the reproduction ask how
+// the per-core malloc cache behaves when those pools are contended.
+//
+// # Determinism
+//
+// The engine is deterministic by construction: same seed + same core count
+// produces byte-identical telemetry, including under the race detector.
+// Cores are scheduled in lockstep epochs over *logical* clocks — a token
+// visits the runnable cores in ID order; the holder executes until its own
+// cpu.Core clock reaches the epoch boundary (epoch+1)*EpochCycles, then
+// passes the token on; the epoch counter advances when the token wraps.
+// Execution is therefore fully serialized: the engine mutex is held by the
+// running core and released only inside cond.Wait, which both gives every
+// cross-core interaction a happens-before edge (race-free) and makes the
+// interleaving a pure function of the simulated cycle counts (repeatable).
+// Goroutines model the per-core control flow — each shard keeps its natural
+// call stack — not host parallelism.
+//
+// # Cross-core traffic
+//
+// Producer/consumer free traffic is first-class: a fraction of each core's
+// frees is posted to a peer core's inbox and executed there, so memory
+// allocated on one core is returned through another core's thread cache and
+// migrates home via the shared transfer cache — the pattern that makes the
+// central lists hot in real servers.
+package multicore
+
+import (
+	"fmt"
+	"sync"
+
+	"mallacc/internal/cachesim"
+	"mallacc/internal/core"
+	"mallacc/internal/cpu"
+	"mallacc/internal/mem"
+	"mallacc/internal/stats"
+	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
+	"mallacc/internal/uop"
+	"mallacc/internal/workload"
+)
+
+// Variant selects the simulated configuration, mirroring the single-core
+// harness variants (redeclared here so harness can depend on multicore
+// without a cycle).
+type Variant uint8
+
+const (
+	// Baseline is unmodified TCMalloc on stock cores.
+	Baseline Variant = iota
+	// Mallacc gives every core its own malloc cache.
+	Mallacc
+	// Limit ignores the three fast-path steps in timing (the paper's
+	// limit study) on every core.
+	Limit
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Mallacc:
+		return "mallacc"
+	case Limit:
+		return "limit"
+	default:
+		return "baseline"
+	}
+}
+
+// Config parameterizes one multi-core run.
+type Config struct {
+	// Cores is the number of simulated cores (default 2).
+	Cores int
+	// Variant selects baseline / mallacc / limit.
+	Variant Variant
+	// MCEntries sizes each core's malloc cache (default 32).
+	MCEntries int
+	// Workload generates every core's shard; each core runs it with its
+	// own RNG stream.
+	Workload workload.Workload
+	// CallsPerCore is each shard's allocator-call budget (default 20000).
+	CallsPerCore int
+	// CoreCalls optionally overrides the budget per core (tests use it to
+	// drain one shard early); missing/zero entries fall back to
+	// CallsPerCore.
+	CoreCalls []int
+	// Seed drives all randomness.
+	Seed uint64
+	// EpochCycles is the lockstep scheduling quantum on the logical
+	// clocks (default 2000).
+	EpochCycles uint64
+	// RemoteFreeProb is the probability a free is posted to a peer core
+	// instead of executing locally (default 0.15; negative disables).
+	RemoteFreeProb float64
+	// Registry receives all metrics; a fresh one is created when nil.
+	Registry *telemetry.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 2
+	}
+	if cfg.MCEntries <= 0 {
+		cfg.MCEntries = 32
+	}
+	if cfg.CallsPerCore <= 0 {
+		cfg.CallsPerCore = 20000
+	}
+	if cfg.EpochCycles == 0 {
+		cfg.EpochCycles = 2000
+	}
+	if cfg.RemoteFreeProb == 0 {
+		cfg.RemoteFreeProb = 0.15
+	} else if cfg.RemoteFreeProb < 0 {
+		cfg.RemoteFreeProb = 0
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	return cfg
+}
+
+// Engine owns the shared heap, the per-core states and the scheduler.
+type Engine struct {
+	cfg   Config
+	heap  *tcmalloc.Heap
+	cores []*coreState
+	locks *lockTable
+	reg   *telemetry.Registry
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	turn   int // ID of the core holding the token; -1 when all done
+	active *coreState
+	epoch  uint64
+	yields uint64
+
+	metaBytes uint64
+	liveBytes uint64
+	peakLive  uint64
+	liveSizes map[uint64]uint64
+}
+
+// New builds an engine. The workload is required.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Workload == nil {
+		panic("multicore: Config.Workload is required")
+	}
+
+	hCfg := tcmalloc.DefaultConfig()
+	hCfg.Seed = cfg.Seed
+	mcCfg := core.Config{Entries: cfg.MCEntries, IndexMode: true}
+	if cfg.Variant == Mallacc {
+		hCfg.Mode = tcmalloc.ModeMallacc
+		hCfg.MallocCache = mcCfg
+	}
+	heap := tcmalloc.New(hCfg)
+
+	eng := &Engine{
+		cfg:       cfg,
+		heap:      heap,
+		reg:       cfg.Registry,
+		liveSizes: map[uint64]uint64{},
+	}
+	eng.cond = sync.NewCond(&eng.mu)
+	eng.locks = newLockTable(eng)
+	heap.SetLockModel(eng.locks)
+
+	cCfg := cpu.DefaultConfig()
+	if cfg.Variant == Limit {
+		cCfg.DropSteps[uop.StepSizeClass] = true
+		cCfg.DropSteps[uop.StepSampling] = true
+		cCfg.DropSteps[uop.StepPushPop] = true
+	}
+
+	footLines := uint64(0)
+	if fp := workload.FootprintOf(cfg.Workload); fp > 0 {
+		footLines = fp / mem.CacheLineSize
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		cs := &coreState{
+			eng: eng,
+			id:  i,
+			cpu: cpu.New(cCfg, cachesim.NewDefaultHierarchy()),
+			tc:  heap.NewThread(),
+			rng: stats.NewRNG(cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0x85ebca77 + 0xc2b2),
+		}
+		if cfg.Variant == Mallacc {
+			cs.mc = core.New(mcCfg)
+			cs.hw = &core.SampleCounter{}
+		}
+		if footLines > 0 {
+			cs.footBase = uint64(1) << 40
+			cs.footLines = footLines
+		}
+		cs.budget = cfg.CallsPerCore
+		if i < len(cfg.CoreCalls) && cfg.CoreCalls[i] > 0 {
+			cs.budget = cfg.CoreCalls[i]
+		}
+		eng.cores = append(eng.cores, cs)
+	}
+	// The heap was built with its own accelerator state; in multicore mode
+	// the malloc cache and sampling counter are per-core, swapped in by
+	// setActive, so the heap-owned ones are discarded before registration
+	// (otherwise heap.RegisterMetrics would claim the bare "mc.*" names
+	// for a single core).
+	heap.MC, heap.HWCounter = nil, nil
+	eng.metaBytes = heap.Space.SbrkBytes
+	eng.registerMetrics()
+	return eng
+}
+
+// beginQuantum stamps the token holder's execution deadline for the current
+// epoch.
+func (cs *coreState) beginQuantum() {
+	cs.epochEnd = (cs.eng.epoch + 1) * cs.eng.cfg.EpochCycles
+}
+
+// checkpoint is called at every App entry point: while the core's logical
+// clock has crossed the epoch boundary, pass the token on and wait for it
+// to come back. A core that overshot several epochs (a long span refill or
+// simulated syscall) keeps yielding until the global epoch catches up, so
+// the cores stay aligned on logical time.
+func (cs *coreState) checkpoint() {
+	eng := cs.eng
+	for cs.cpu.Cycle() >= cs.epochEnd {
+		eng.yields++
+		cs.res.Yields++
+		eng.advanceTurn()
+		for eng.turn != cs.id {
+			eng.cond.Wait()
+		}
+		cs.beginQuantum()
+	}
+}
+
+// advanceTurn hands the token to the next runnable core in cyclic ID order,
+// bumping the epoch when the token wraps (including the single-runnable-core
+// case, where the wrap is what lets its deadline advance). With no runnable
+// cores the token parks at -1.
+func (eng *Engine) advanceTurn() {
+	n := len(eng.cores)
+	for i := 1; i <= n; i++ {
+		next := (eng.turn + i) % n
+		if eng.cores[next].done {
+			continue
+		}
+		if next <= eng.turn {
+			eng.epoch++
+		}
+		eng.setActive(next)
+		eng.cond.Broadcast()
+		return
+	}
+	eng.turn = -1
+	eng.cond.Broadcast()
+}
+
+// setActive installs core id as the executing core: the token, plus the
+// heap's per-core accelerator state (the malloc cache models an in-core
+// structure, so the shared heap must emit against the running core's).
+func (eng *Engine) setActive(id int) {
+	cs := eng.cores[id]
+	eng.turn = id
+	eng.active = cs
+	eng.heap.MC = cs.mc
+	eng.heap.HWCounter = cs.hw
+}
+
+// Run executes every core's shard to completion and returns the collected
+// result. It may be called once per Engine.
+func (eng *Engine) Run() *Result {
+	eng.mu.Lock()
+	eng.setActive(0)
+	eng.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, cs := range eng.cores {
+		wg.Add(1)
+		go func(cs *coreState) {
+			defer wg.Done()
+			eng.runCore(cs)
+		}(cs)
+	}
+	wg.Wait()
+
+	// Frees posted to cores that finished before draining them execute
+	// now, sequentially in ID order, on their owning core.
+	eng.mu.Lock()
+	for _, cs := range eng.cores {
+		if cs.inboxPos < len(cs.inbox) {
+			eng.setActive(cs.id)
+			cs.drainInbox()
+		}
+	}
+	eng.mu.Unlock()
+	return eng.collect()
+}
+
+// runCore is one core's goroutine body: wait for the token, run the shard
+// with the engine mutex held (checkpoint releases it at epoch boundaries),
+// then retire from the rotation.
+func (eng *Engine) runCore(cs *coreState) {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	for eng.turn != cs.id {
+		eng.cond.Wait()
+	}
+	cs.beginQuantum()
+	eng.cfg.Workload.Run(cs, cs.budget, stats.NewRNG(eng.cfg.Seed+1+uint64(cs.id)*0x9e37))
+	cs.drainInbox()
+	cs.done = true
+	cs.res.DoneEpoch = eng.epoch
+	eng.advanceTurn()
+}
+
+// coreName returns the telemetry prefix of core i.
+func coreName(i int) string { return fmt.Sprintf("core%d.", i) }

@@ -41,6 +41,10 @@ type CentralFreeList struct {
 
 	heap *Heap
 
+	// lockHeldAt records the emitter position at acquisition so unlock can
+	// report the hold length (in uops) to the heap's LockModel.
+	lockHeldAt int
+
 	// Stats
 	TransferHits   uint64
 	TransferMisses uint64
@@ -63,10 +67,20 @@ func newCentralFreeList(h *Heap, class uint8) *CentralFreeList {
 
 func (c *CentralFreeList) lock(e *uop.Emitter) uop.Val {
 	lk := e.Load(c.lockAddr, uop.NoDep)
-	return e.ALUWithLat(17, lk, uop.NoDep)
+	v := e.ALUWithLat(17, lk, uop.NoDep)
+	if lm := c.heap.Lock; lm != nil {
+		if wait := lm.Acquire(LockCentral, c.class); wait > 0 {
+			v = e.Stall(wait, v)
+		}
+		c.lockHeldAt = e.Len()
+	}
+	return v
 }
 
 func (c *CentralFreeList) unlock(e *uop.Emitter) {
+	if lm := c.heap.Lock; lm != nil {
+		lm.Release(LockCentral, c.class, e.Len()-c.lockHeldAt)
+	}
 	e.Store(c.lockAddr, uop.NoDep, uop.NoDep)
 }
 

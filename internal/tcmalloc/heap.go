@@ -106,6 +106,10 @@ type Heap struct {
 	// model afterwards.
 	Em *uop.Emitter
 
+	// Lock is the shared-lock contention hook (nil when single-core);
+	// install it with SetLockModel so the page heap sees it too.
+	Lock LockModel
+
 	Cfg     Config
 	rng     *stats.RNG
 	threads []*ThreadCache

@@ -1,0 +1,44 @@
+package tcmalloc
+
+// LockSite identifies one of the allocator's shared locks. The single-core
+// simulation emits each lock as an uncontended atomic RMW (load + 17-cycle
+// ALU) and each unlock as a plain store; under a multi-core engine the same
+// sites additionally consult a LockModel so contention can be charged.
+type LockSite uint8
+
+const (
+	// LockCentral guards a per-size-class central free list (transfer
+	// cache + span lists).
+	LockCentral LockSite = iota
+	// LockPageHeap guards the page heap (span free lists, page map
+	// updates, OS growth).
+	LockPageHeap
+)
+
+func (s LockSite) String() string {
+	switch s {
+	case LockCentral:
+		return "central"
+	case LockPageHeap:
+		return "pageheap"
+	}
+	return "unknown"
+}
+
+// LockModel is the contention hook a concurrent engine installs via
+// Heap.SetLockModel. The allocator calls Acquire when the executing core
+// takes the lock at site (class is the size class for central locks, 0 for
+// the page heap) and charges the returned extra wait cycles into the call
+// trace; Release reports the number of micro-ops emitted while the lock was
+// held, the engine's proxy for hold time. A nil model (the default) keeps
+// every lock uncontended, preserving single-core behaviour exactly.
+type LockModel interface {
+	Acquire(site LockSite, class uint8) (waitCycles uint64)
+	Release(site LockSite, class uint8, holdUops int)
+}
+
+// SetLockModel installs lm on the heap and its page heap (nil uninstalls).
+func (h *Heap) SetLockModel(lm LockModel) {
+	h.Lock = lm
+	h.PageHeap.Lock = lm
+}

@@ -29,6 +29,11 @@ type PageHeap struct {
 	large    spanList
 	lockAddr uint64
 
+	// Lock is the contention hook (nil when single-core); installed by
+	// Heap.SetLockModel. lockHeldAt mirrors CentralFreeList's hold tracking.
+	Lock       LockModel
+	lockHeldAt int
+
 	// Stats
 	SpansAllocated uint64
 	SpansFreed     uint64
@@ -59,10 +64,7 @@ func (ph *PageHeap) New(e *uop.Emitter, n uint64) *Span {
 	if n == 0 {
 		panic("tcmalloc: zero-page span requested")
 	}
-	// Lock the page heap: uncontended atomic RMW on the lock word.
-	lk := e.Load(ph.lockAddr, uop.NoDep)
-	e.ALUWithLat(17, lk, uop.NoDep)
-
+	ph.lock(e)
 	s := ph.searchFreeAndCarve(e, n)
 	if s == nil {
 		ph.grow(e, n)
@@ -71,10 +73,31 @@ func (ph *PageHeap) New(e *uop.Emitter, n uint64) *Span {
 			panic("tcmalloc: page heap failed to grow")
 		}
 	}
-	// Unlock: a plain store.
-	e.Store(ph.lockAddr, uop.NoDep, uop.NoDep)
+	ph.unlock(e)
 	ph.SpansAllocated++
 	return s
+}
+
+// lock takes the page-heap lock: an uncontended atomic RMW on the lock word,
+// plus whatever extra wait the installed LockModel charges under contention.
+func (ph *PageHeap) lock(e *uop.Emitter) uop.Val {
+	lk := e.Load(ph.lockAddr, uop.NoDep)
+	v := e.ALUWithLat(17, lk, uop.NoDep)
+	if ph.Lock != nil {
+		if wait := ph.Lock.Acquire(LockPageHeap, 0); wait > 0 {
+			v = e.Stall(wait, v)
+		}
+		ph.lockHeldAt = e.Len()
+	}
+	return v
+}
+
+// unlock releases the page-heap lock: a plain store.
+func (ph *PageHeap) unlock(e *uop.Emitter) {
+	if ph.Lock != nil {
+		ph.Lock.Release(LockPageHeap, 0, e.Len()-ph.lockHeldAt)
+	}
+	e.Store(ph.lockAddr, uop.NoDep, uop.NoDep)
 }
 
 // searchFreeAndCarve scans the free lists for the first span of length >= n
@@ -166,8 +189,7 @@ func (ph *PageHeap) insertFree(e *uop.Emitter, s *Span) {
 // through the page map (the buddy-less, address-ordered merge TCMalloc
 // uses).
 func (ph *PageHeap) Delete(e *uop.Emitter, s *Span) {
-	lk := e.Load(ph.lockAddr, uop.NoDep)
-	e.ALUWithLat(17, lk, uop.NoDep)
+	lk := ph.lock(e)
 
 	// Coalesce with the span ending just before us.
 	if prev, dep := ph.pm.EmitGet(e, s.Start-1, lk); prev != nil && prev.Location == SpanOnFreeList {
@@ -197,7 +219,7 @@ func (ph *PageHeap) Delete(e *uop.Emitter, s *Span) {
 	ph.pm.Set(s.Start+s.Length-1, s)
 	ph.insertFree(e, s)
 	ph.SpansFreed++
-	e.Store(ph.lockAddr, uop.NoDep, uop.NoDep)
+	ph.unlock(e)
 }
 
 func (ph *PageHeap) recordBoundary(e *uop.Emitter, s *Span) {

@@ -164,11 +164,16 @@ func jsonRound(v float64) float64 {
 }
 
 // Registry holds the registered metric sources of one simulated system.
+// A Registry obtained from Sub is a prefixed view: it stores nothing itself
+// and forwards every registration to the root under "<prefix>name".
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]func() uint64
 	gauges   map[string]func() float64
 	hists    map[string]*stats.DurationHist
+
+	parent *Registry // non-nil on prefixed views
+	prefix string
 }
 
 // NewRegistry returns an empty registry.
@@ -180,31 +185,54 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Sub returns a prefixed view of r: every metric registered through the
+// view lands in the root registry under "<prefix>name". Views nest (the
+// prefixes concatenate) and share the root's mutex and duplicate check, so
+// per-core registrations like reg.Sub("core3.") compose with component
+// RegisterMetrics methods unchanged. Snapshot and Len on a view read the
+// whole root registry.
+func (r *Registry) Sub(prefix string) *Registry {
+	root, pre := r.rootAndPrefix()
+	return &Registry{parent: root, prefix: pre + prefix}
+}
+
+// rootAndPrefix resolves a possibly-prefixed view to its storage registry
+// and accumulated name prefix.
+func (r *Registry) rootAndPrefix() (*Registry, string) {
+	if r.parent != nil {
+		return r.parent, r.prefix
+	}
+	return r, ""
+}
+
 // Counter registers a counter source under name. Registering a duplicate
 // name panics: dotted names are the registry's only keyspace, and silent
 // shadowing would corrupt every downstream report.
 func (r *Registry) Counter(name string, fn func() uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.checkFresh(name)
-	r.counters[name] = fn
+	root, pre := r.rootAndPrefix()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.checkFresh(pre + name)
+	root.counters[pre+name] = fn
 }
 
 // Gauge registers a gauge source under name.
 func (r *Registry) Gauge(name string, fn func() float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.checkFresh(name)
-	r.gauges[name] = fn
+	root, pre := r.rootAndPrefix()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.checkFresh(pre + name)
+	root.gauges[pre+name] = fn
 }
 
 // Histogram registers a histogram under name. The registry reads it at
 // snapshot time; the caller keeps feeding it.
 func (r *Registry) Histogram(name string, h *stats.DurationHist) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.checkFresh(name)
-	r.hists[name] = h
+	root, pre := r.rootAndPrefix()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.checkFresh(pre + name)
+	root.hists[pre+name] = h
 }
 
 func (r *Registry) checkFresh(name string) {
@@ -224,6 +252,7 @@ func (r *Registry) checkFresh(name string) {
 
 // Len returns the number of registered metrics.
 func (r *Registry) Len() int {
+	r, _ = r.rootAndPrefix()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.counters) + len(r.gauges) + len(r.hists)
@@ -231,6 +260,7 @@ func (r *Registry) Len() int {
 
 // Snapshot reads every registered source and returns the sorted result.
 func (r *Registry) Snapshot() Snapshot {
+	r, _ = r.rootAndPrefix()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))

@@ -160,3 +160,38 @@ func TestRegistryConcurrentSnapshots(t *testing.T) {
 		t.Errorf("Len = %d", reg.Len())
 	}
 }
+
+func TestRegistrySub(t *testing.T) {
+	reg := NewRegistry()
+	sub := reg.Sub("core0.")
+	sub.Counter("cpu.cycles", func() uint64 { return 11 })
+	nested := sub.Sub("l1d.")
+	nested.Gauge("miss_rate", func() float64 { return 0.25 })
+	reg.Counter("engine.epochs", func() uint64 { return 3 })
+
+	s := reg.Snapshot()
+	if got := s.Value("core0.cpu.cycles"); got != 11 {
+		t.Errorf("core0.cpu.cycles = %v, want 11", got)
+	}
+	if got := s.Value("core0.l1d.miss_rate"); got != 0.25 {
+		t.Errorf("core0.l1d.miss_rate = %v, want 0.25", got)
+	}
+	if got := s.Value("engine.epochs"); got != 3 {
+		t.Errorf("engine.epochs = %v, want 3", got)
+	}
+	// Views read the whole root registry.
+	if sub.Len() != reg.Len() || reg.Len() != 3 {
+		t.Errorf("Len: sub=%d root=%d, want 3", sub.Len(), reg.Len())
+	}
+	if len(sub.Snapshot().Metrics) != 3 {
+		t.Errorf("sub snapshot has %d metrics, want 3", len(sub.Snapshot().Metrics))
+	}
+
+	// Duplicate detection spans views: the same full name panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration through view did not panic")
+		}
+	}()
+	reg.Counter("core0.cpu.cycles", func() uint64 { return 0 })
+}

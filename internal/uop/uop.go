@@ -247,6 +247,26 @@ func (e *Emitter) ALUChain(n int, dep Val) Val {
 	return v
 }
 
+// Stall emits a serially dependent chain of fixed-latency ALU ops totalling
+// cycles, seeded by dep, and returns the last op. LatOverride is a uint8, so
+// long waits — a contended lock spinning until the holder releases it — are
+// modeled as a chain of maximal-latency ops plus a remainder.
+func (e *Emitter) Stall(cycles uint64, dep Val) Val {
+	if e.disabled || cycles == 0 {
+		return dep
+	}
+	v := dep
+	for cycles > 0 {
+		lat := uint64(255)
+		if cycles < lat {
+			lat = cycles
+		}
+		v = e.ALUWithLat(uint8(lat), v, NoDep)
+		cycles -= lat
+	}
+	return v
+}
+
 // IMul emits a 3-cycle multiply.
 func (e *Emitter) IMul(dep1, dep2 Val) Val {
 	if e.disabled {

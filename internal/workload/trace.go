@@ -193,6 +193,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	line := 0
 	mallocs := 0
+	var freed []bool
 	for sc.Scan() {
 		line++
 		text := sc.Text()
@@ -211,6 +212,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			}
 			t.Events = append(t.Events, Event{Kind: EvMalloc, Size: size})
 			mallocs++
+			freed = append(freed, false)
 		case 'f':
 			var seq, hint int
 			if _, err := fmt.Sscanf(text, "f %d %d", &seq, &hint); err != nil {
@@ -219,12 +221,19 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if seq < 0 || seq >= mallocs {
 				return nil, fmt.Errorf("workload: free of not-yet-allocated seq %d at line %d", seq, line)
 			}
+			if freed[seq] {
+				return nil, fmt.Errorf("workload: double free of seq %d at line %d", seq, line)
+			}
+			freed[seq] = true
 			t.Events = append(t.Events, Event{Kind: EvFree, Seq: seq, Sized: hint != 0})
 		case 'w':
 			var cyc uint64
 			var lines int
 			if _, err := fmt.Sscanf(text, "w %d %d", &cyc, &lines); err != nil {
 				return nil, fmt.Errorf("workload: bad work line %d: %q", line, text)
+			}
+			if lines < 0 {
+				return nil, fmt.Errorf("workload: negative line count at line %d: %q", line, text)
 			}
 			t.Events = append(t.Events, Event{Kind: EvWork, Size: cyc, Lines: lines})
 		case 'a':

@@ -39,6 +39,7 @@ import (
 	"mallacc/internal/harness"
 	"mallacc/internal/hoard"
 	"mallacc/internal/jemalloc"
+	"mallacc/internal/multicore"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
 	"mallacc/internal/telemetry"
@@ -457,6 +458,81 @@ func (s *System) CheckInvariants() {
 // NewRNG returns a deterministic random generator, for building custom
 // drivers that stay reproducible.
 func NewRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
+
+// RNG is the deterministic generator NewRNG returns; custom Workloads
+// receive one per core.
+type RNG = stats.RNG
+
+// App is what a Workload sees of one simulated core: allocator entry points
+// plus hooks to model the application in between. In a Cluster each core's
+// shard drives its own App.
+type App = workload.App
+
+// ClusterConfig parameterizes a multi-core simulation (see
+// internal/multicore): N cores, each with a private CPU, cache hierarchy,
+// thread cache and malloc cache, sharing one allocator whose central lists
+// and page heap charge contention through a spinlock model.
+type ClusterConfig struct {
+	// Cores is the simulated core count (default 2).
+	Cores int
+	// Variant picks baseline, Mallacc, or the limit study.
+	Variant Variant
+	// MCEntries sizes each core's malloc cache (default 32).
+	MCEntries int
+	// Workload generates every core's shard (each with its own RNG).
+	Workload Workload
+	// CallsPerCore is each shard's allocator-call budget (default 20000).
+	CallsPerCore int
+	// Seed drives all randomness; same seed + same Cores is byte-identical.
+	Seed uint64
+	// RemoteFreeProb is the fraction of frees executed on a peer core
+	// (default 0.15; negative disables cross-core traffic).
+	RemoteFreeProb float64
+}
+
+// ClusterResult is the multi-core measurement set: per-core breakdowns,
+// machine-wide aggregates, lock-contention accounting, and the full
+// telemetry snapshot (per-core metrics under "core<i>.").
+type ClusterResult = multicore.Result
+
+// CoreStats is one core's share of a ClusterResult.
+type CoreStats = multicore.CoreStats
+
+// Cluster is a configured multi-core simulation, ready to run once.
+type Cluster struct {
+	eng *multicore.Engine
+}
+
+// NewCluster builds a multi-core simulation from cfg.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	return &Cluster{eng: multicore.New(multicore.Config{
+		Cores:          cfg.Cores,
+		Variant:        clusterVariant(cfg.Variant),
+		MCEntries:      cfg.MCEntries,
+		Workload:       cfg.Workload,
+		CallsPerCore:   cfg.CallsPerCore,
+		Seed:           cfg.Seed,
+		RemoteFreeProb: cfg.RemoteFreeProb,
+	})}
+}
+
+// Run executes every core's shard concurrently (one goroutine per core,
+// deterministically interleaved) and returns the collected result.
+func (c *Cluster) Run() *ClusterResult { return c.eng.Run() }
+
+// RunCluster is the one-shot form of NewCluster(cfg).Run().
+func RunCluster(cfg ClusterConfig) *ClusterResult { return NewCluster(cfg).Run() }
+
+func clusterVariant(v Variant) multicore.Variant {
+	switch v {
+	case Mallacc:
+		return multicore.Mallacc
+	case Limit:
+		return multicore.Limit
+	default:
+		return multicore.Baseline
+	}
+}
 
 // SizeClassInfo describes one allocator size class.
 type SizeClassInfo struct {
