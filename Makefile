@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench baseline clean
+.PHONY: all build vet test race bench baseline serve-smoke clean
 
 all: build vet test
 
@@ -28,6 +28,14 @@ baseline:
 		> results/metrics/baseline.json
 	$(GO) run ./cmd/mallacc-bench -run scale -format json -seed 1 \
 		> results/metrics/multicore.json
+	$(GO) run ./cmd/mallacc-serve -digest \
+		> results/metrics/simsvc.json
+
+# End-to-end smoke test of the mallacc-serve daemon: submit over HTTP,
+# verify the cached resubmission is byte-identical, and check SIGTERM
+# drains cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,20 +27,23 @@ import (
 	"time"
 
 	"mallacc/internal/harness"
+	"mallacc/internal/simsvc"
 	"mallacc/internal/telemetry"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		calls   = flag.Int("calls", 60000, "allocator-call budget per simulation run")
-		seeds   = flag.Int("seeds", 6, "seeds for the significance study (table2)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		cores   = flag.Int("cores", 16, "max core count for the multi-core scaling sweep (scale)")
-		out     = flag.String("o", "", "directory to write per-experiment reports")
-		format  = flag.String("format", "text", "output format: text | json | csv")
-		metrics = flag.Bool("metrics", false, "attach each run's full telemetry snapshot to the reports")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		calls    = flag.Int("calls", 60000, "allocator-call budget per simulation run")
+		seeds    = flag.Int("seeds", 6, "seeds for the significance study (table2)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		cores    = flag.Int("cores", 16, "max core count for the multi-core scaling sweep (scale)")
+		out      = flag.String("o", "", "directory to write per-experiment reports")
+		format   = flag.String("format", "text", "output format: text | json | csv")
+		metrics  = flag.Bool("metrics", false, "attach each run's full telemetry snapshot to the reports")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		workers  = flag.Int("workers", 0, "experiment worker pool width (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "on-disk result cache; repeated invocations reuse stored reports")
 	)
 	flag.Parse()
 
@@ -55,8 +59,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
 		os.Exit(1)
 	}
+	if err := harness.ValidateRunBounds(*cores, *seed, *calls); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := harness.ValidateSeeds(*seeds); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	opt := harness.ExpOptions{Calls: *calls, Seeds: *seeds, Seed: *seed, Metrics: *metrics, Cores: *cores}
 	var selected []harness.Experiment
 	if *run == "" {
 		selected = harness.Experiments()
@@ -78,23 +89,64 @@ func main() {
 		}
 	}
 
+	// The whole suite goes through an in-process simulation service: the
+	// experiments run concurrently on the worker pool, overlapping grids
+	// (fig13/fig14 share every run) collapse in the run-level cache, and a
+	// -cache-dir makes repeated invocations skip finished experiments
+	// entirely.
+	svc, err := simsvc.New(simsvc.Config{
+		Workers:        *workers,
+		QueueHighWater: len(selected) + simsvc.DefaultQueueHighWater,
+		CacheDir:       *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ids := make([]string, len(selected))
+	for i, e := range selected {
+		st, err := svc.Submit(simsvc.JobSpec{
+			Kind:       simsvc.KindExperiment,
+			Experiment: e.ID,
+			Calls:      *calls,
+			Seeds:      *seeds,
+			Seed:       *seed,
+			Cores:      *cores,
+			Metrics:    *metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: submit: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		ids[i] = st.ID
+	}
+
 	var (
 		ran, failed int
-		total       time.Duration
+		start       = time.Now()
 		reports     []*harness.Report // for the combined JSON document
 	)
-	for _, e := range selected {
-		start := time.Now()
-		rep, err := runExperiment(e, opt)
-		elapsed := time.Since(start)
-		total += elapsed
+	for i, e := range selected {
+		st, err := svc.Await(context.Background(), ids[i])
+		if err == nil && st.State != simsvc.StateDone {
+			err = fmt.Errorf("%s", st.Error)
+		}
+		var rep *harness.Report
+		if err == nil {
+			rep = new(harness.Report)
+			err = json.Unmarshal(st.Report, rep)
+		}
 		if err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "%s: FAILED after %.1fs: %v\n", e.ID, elapsed.Seconds(), err)
+			fmt.Fprintf(os.Stderr, "%s: FAILED after %.1fs: %v\n", e.ID, st.ElapsedSeconds, err)
 			continue
 		}
 		ran++
-		fmt.Fprintf(os.Stderr, "%s: done in %.1fs\n", e.ID, elapsed.Seconds())
+		if st.Cached {
+			fmt.Fprintf(os.Stderr, "%s: done (cached)\n", e.ID)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: done in %.1fs\n", e.ID, st.ElapsedSeconds)
+		}
 
 		switch *format {
 		case "json":
@@ -142,21 +194,10 @@ func main() {
 		}
 		os.Stdout.Write(append(b, '\n'))
 	}
-	fmt.Fprintf(os.Stderr, "%d experiments run, %d failed in %.1fs\n", ran, failed, total.Seconds())
+	fmt.Fprintf(os.Stderr, "%d experiments run, %d failed in %.1fs\n", ran, failed, time.Since(start).Seconds())
 	if failed > 0 {
 		os.Exit(1)
 	}
-}
-
-// runExperiment converts an experiment panic into an error so one failure
-// doesn't abort the whole suite.
-func runExperiment(e harness.Experiment, opt harness.ExpOptions) (rep *harness.Report, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
-		}
-	}()
-	return e.Run(opt), nil
 }
 
 func formatExt(format string) string {

@@ -1,0 +1,102 @@
+// Command mallacc-serve runs the simulation service: an HTTP daemon with a
+// job queue, a bounded simulation worker pool, and a content-addressed
+// result cache. Every job is a fully-specified deterministic run, so
+// identical submissions are answered from the cache without re-simulating.
+//
+// Usage:
+//
+//	mallacc-serve                          # listen on 127.0.0.1:7077
+//	mallacc-serve -addr :8080 -workers 4
+//	mallacc-serve -cache-dir results/cache # persist reports across restarts
+//	mallacc-serve -digest                  # run the pinned cache digest and exit
+//
+// API:
+//
+//	curl -s localhost:7077/v1/jobs -d '{"experiment":"fig13"}'
+//	curl -s localhost:7077/v1/jobs/j00000001
+//	curl -s -X DELETE localhost:7077/v1/jobs/j00000001
+//	curl -s localhost:7077/v1/healthz
+//	curl -s localhost:7077/v1/metrics
+//
+// SIGTERM/SIGINT drains gracefully: intake stops, queued jobs are
+// canceled, in-flight jobs run to completion, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mallacc/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7077", "listen address")
+		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", simsvc.DefaultQueueHighWater, "queue high-water mark; submissions beyond it get 429")
+		cacheN   = flag.Int("cache", simsvc.DefaultCacheEntries, "in-memory result cache entries")
+		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		timeout  = flag.Duration("timeout", simsvc.DefaultJobTimeout, "per-job run timeout")
+		drainT   = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget for in-flight jobs")
+		digest   = flag.Bool("digest", false, "run the deterministic cache digest to stdout and exit")
+	)
+	flag.Parse()
+
+	if *digest {
+		if err := runDigest(*workers, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	svc, err := simsvc.New(simsvc.Config{
+		Workers:        *workers,
+		QueueHighWater: *queue,
+		JobTimeout:     *timeout,
+		CacheEntries:   *cacheN,
+		CacheDir:       *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mallacc-serve listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mallacc-serve: %v, draining\n", s)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	drainErr := svc.Drain(ctx)
+	srv.Shutdown(context.Background())
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "mallacc-serve: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mallacc-serve: drained cleanly")
+}

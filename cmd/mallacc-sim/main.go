@@ -7,6 +7,10 @@
 //	mallacc-sim -workload ubench.tp_small -variant baseline -calls 100000
 //	mallacc-sim -workload xapian.pages -format json -metrics
 //	mallacc-sim -workloads   # list workload names
+//
+// With -serve URL the simulation is not run locally: the spec is submitted
+// as a job to a running mallacc-serve daemon, polled to completion, and
+// the daemon's (possibly cached) report is printed.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strconv"
 
 	"mallacc"
+	"mallacc/internal/harness"
 )
 
 func main() {
@@ -33,12 +38,30 @@ func main() {
 		list    = flag.Bool("workloads", false, "list workloads and exit")
 		record  = flag.String("record", "", "write the workload's request trace to this file and exit")
 		replay  = flag.String("replay", "", "run a previously recorded trace file instead of -workload")
+		serve   = flag.String("serve", "", "submit the run to a mallacc-serve daemon at this base URL instead of simulating locally")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, w := range mallacc.Workloads() {
 			fmt.Println(w.Name())
+		}
+		return
+	}
+
+	if err := harness.ValidateRunBounds(*cores, *seed, *calls); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *serve != "" {
+		if *replay != "" || *record != "" {
+			fmt.Fprintln(os.Stderr, "-serve cannot record or replay traces; the daemon only runs stock workloads")
+			os.Exit(1)
+		}
+		if err := runRemote(*serve, *wname, *variant, *entries, *calls, *seed, *cores, *format, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mallacc"
+	"mallacc/internal/harness"
+	"mallacc/internal/simsvc"
+)
+
+// runRemote submits the run as a job to a mallacc-serve daemon, polls it
+// to completion, and renders the returned report in the requested format.
+func runRemote(base, wname, variant string, entries, calls int, seed uint64, cores int, format string, metrics bool) error {
+	base = strings.TrimRight(base, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	spec := mallacc.JobSpec{
+		Workload:  wname,
+		Variant:   variant,
+		MCEntries: entries,
+		Cores:     cores,
+		Calls:     calls,
+		Seed:      seed,
+		Metrics:   metrics,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	st, err := decodeStatus(resp)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+
+	for !st.State.Terminal() {
+		time.Sleep(100 * time.Millisecond)
+		resp, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		st, err = decodeStatus(resp)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+	}
+	if st.State != simsvc.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	if st.Cached {
+		fmt.Fprintf(os.Stderr, "job %s served from cache (key %s)\n", st.ID, st.Key)
+	}
+
+	var rep harness.Report
+	if err := json.Unmarshal(st.Report, &rep); err != nil {
+		return fmt.Errorf("decode report: %w", err)
+	}
+	b, err := rep.Render(format)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+// decodeStatus reads one API response, surfacing the server's error
+// document on non-2xx statuses.
+func decodeStatus(resp *http.Response) (mallacc.JobStatus, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return mallacc.JobStatus{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return mallacc.JobStatus{}, fmt.Errorf("%s", resp.Status)
+	}
+	var st mallacc.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	return st, nil
+}

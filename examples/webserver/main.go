@@ -1,95 +1,137 @@
-// Webserver: a datacenter-style request-handling loop served concurrently
-// on a simulated multi-core machine — the kind of workload the paper's
-// introduction motivates ("speeding up multiple shared low-level routines
-// that appear in many applications").
-//
-// Each simulated request parses headers (several small string
-// allocations), builds a response buffer, does application work against a
-// shared in-memory index (cache pressure), and frees everything at request
-// end. The request loop is expressed as a mallacc.Workload, so
-// mallacc.NewCluster can shard it across N cores: every core runs its own
-// slice of the request stream on a private CPU, thread cache, and malloc
-// cache, while span refills contend on the shared central free lists.
+// Webserver: a datacenter-style request-handling loop simulated through
+// the simulation service — the example is now a real client of
+// mallacc-serve. It boots the service on a loopback port, submits the
+// "server.requests" workload (the same request loop, promoted to a stock
+// workload) as multi-core jobs over the HTTP API, and prints the returned
+// reports. Submitting a job twice demonstrates the content-addressed
+// result cache: the second submission comes back instantly, already done,
+// with the byte-identical report.
 //
 //	go run ./examples/webserver
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
 
 	"mallacc"
 )
 
 const (
-	serverCores  = 4
-	requests     = 5000 // per core
-	headerAllocs = 6
+	serverCores = 4
+	requests    = 5000 // per core
+	// callsPerRequest matches the server.requests workload: six header
+	// strings plus the response buffer, each malloc'd then freed.
+	callsPerRequest = 2 * (6 + 1)
 )
 
-// callsPerRequest is one request's allocator-call footprint: headers plus
-// the response buffer, each malloc'd then freed.
-const callsPerRequest = 2 * (headerAllocs + 1)
-
-// requestLoop is the server's per-core shard: it replays the request
-// handling loop against whatever App (simulated core) the cluster hands it.
-type requestLoop struct{}
-
-func (requestLoop) Name() string { return "webserver.requests" }
-
-func (requestLoop) Run(app mallacc.App, budget int, rng *mallacc.RNG) {
-	live := make([][2]uint64, 0, headerAllocs+1)
-	for calls := 0; calls+callsPerRequest <= budget; calls += callsPerRequest {
-		live = live[:0]
-
-		// Parse headers: small, short-lived strings.
-		for i := 0; i < headerAllocs; i++ {
-			sz := uint64(16 + rng.Intn(112))
-			live = append(live, [2]uint64{app.Malloc(sz), sz})
-		}
-		// Response buffer, occasionally large.
-		bufSize := uint64(512 + 256*uint64(rng.Intn(6)))
-		if rng.Bernoulli(0.005) {
-			bufSize = 300 << 10 // large response streams from spans
-		}
-		live = append(live, [2]uint64{app.Malloc(bufSize), bufSize})
-
-		// Application work: index lookups and response rendering against
-		// the server's in-memory index.
-		app.Work(800+rng.Uint64n(1200), 8)
-
-		// Request teardown: sized deletes.
-		for _, blk := range live {
-			app.Free(blk[0], blk[1])
-		}
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func serve(variant mallacc.Variant) *mallacc.ClusterResult {
-	return mallacc.RunCluster(mallacc.ClusterConfig{
-		Cores:        serverCores,
-		Variant:      variant,
-		Workload:     requestLoop{},
-		CallsPerCore: requests * callsPerRequest,
-		Seed:         99,
-	})
-}
-
-func main() {
-	base := serve(mallacc.Baseline)
-	acc := serve(mallacc.Mallacc)
-
+func run() error {
+	// Boot the simulation service in-process and serve its HTTP API on a
+	// loopback port — exactly what `mallacc-serve` does as a daemon.
+	svc, err := mallacc.NewService(mallacc.ServiceConfig{})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("simulation service listening on %s\n", base)
 	fmt.Printf("simulated web server: %d cores, %d requests/core, %d allocator calls each\n\n",
 		serverCores, requests, callsPerRequest)
-	fmt.Printf("%-26s %14s %14s\n", "", "baseline", "mallacc")
-	fmt.Printf("%-26s %14d %14d\n", "allocator cycles", base.AllocatorCycles(), acc.AllocatorCycles())
-	fmt.Printf("%-26s %14d %14d\n", "wall cycles (slowest core)", base.WallCycles, acc.WallCycles)
-	fmt.Printf("%-26s %13.1f%% %13.1f%%\n", "allocator fraction",
-		100*base.AllocatorFraction(), 100*acc.AllocatorFraction())
-	fmt.Printf("%-26s %14.2f %14.2f\n", "central lock cy/call", base.LockCyclesPerCall(), acc.LockCyclesPerCall())
-	fmt.Printf("%-26s %14d %14d\n", "cross-core frees", base.RemoteFrees, acc.RemoteFrees)
-	fmt.Printf("\nallocator time saved: %.1f%%   full-run speedup: %.2f%%\n",
-		100*(1-float64(acc.AllocatorCycles())/float64(base.AllocatorCycles())),
-		100*(1-float64(acc.WallCycles)/float64(base.WallCycles)))
-	fmt.Printf("malloc cache (summed over %d cores): lookup hit %.1f%%, pop hit %.1f%%\n",
-		serverCores, 100*acc.MCLookupHitRate(), 100*acc.MCPopHitRate())
+
+	spec := mallacc.JobSpec{
+		Kind:     "cluster",
+		Workload: "server.requests",
+		Cores:    serverCores,
+		Calls:    serverCores * requests * callsPerRequest,
+		Seed:     99,
+	}
+
+	for _, variant := range []string{"baseline", "mallacc"} {
+		spec.Variant = variant
+		st, err := submitAndPoll(base, spec)
+		if err != nil {
+			return err
+		}
+		var rep mallacc.Report
+		if err := json.Unmarshal(st.Report, &rep); err != nil {
+			return err
+		}
+		fmt.Printf("== %s (job %s, %.1fs) ==\n%s\n", variant, st.ID, st.ElapsedSeconds, rep.String())
+	}
+
+	// Same spec again: the service answers from the cache without
+	// re-simulating.
+	st, err := submitAndPoll(base, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmitted %s job: state=%s cached=%v (content address %s)\n",
+		spec.Variant, st.State, st.Cached, st.Key[:16])
+	return nil
+}
+
+// submitAndPoll drives the service the way any external client would:
+// POST the spec, then poll the job until it is terminal.
+func submitAndPoll(base string, spec mallacc.JobSpec) (mallacc.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	st, err := decodeStatus(resp)
+	if err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	for !st.State.Terminal() {
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return mallacc.JobStatus{}, err
+		}
+		if st, err = decodeStatus(resp); err != nil {
+			return mallacc.JobStatus{}, err
+		}
+	}
+	if st.State != "done" {
+		return mallacc.JobStatus{}, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return st, nil
+}
+
+func decodeStatus(resp *http.Response) (mallacc.JobStatus, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	if resp.StatusCode >= 300 {
+		return mallacc.JobStatus{}, fmt.Errorf("%s: %s", resp.Status, b)
+	}
+	var st mallacc.JobStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return mallacc.JobStatus{}, err
+	}
+	return st, nil
 }

@@ -49,7 +49,7 @@ func Ablation(opt ExpOptions) *Report {
 
 	baselines := map[string]float64{}
 	for _, wn := range ablationWorkloads {
-		r := Run(Options{Workload: mustWorkload(wn), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		r := opt.run(Options{Workload: mustWorkload(wn), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 		baselines[wn] = float64(r.AllocatorCycles())
 	}
 
@@ -69,7 +69,7 @@ func Ablation(opt ExpOptions) *Report {
 				Seed:      opt.Seed,
 			}
 			cfg.apply(&o)
-			r := Run(o)
+			r := opt.run(o)
 			imp := 100 * (baselines[wn] - float64(r.AllocatorCycles())) / baselines[wn]
 			row = append(row, pct(imp))
 		}

@@ -167,8 +167,8 @@ func CrossAlloc(opt ExpOptions) *Report {
 	for _, wn := range crossWorkloads {
 		w := mustWorkload(wn)
 		// TCMalloc through the standard driver (raw-size mode for parity).
-		tb0 := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
-		tb1 := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, IndexModeOff: true, Calls: opt.Calls, Seed: opt.Seed})
+		tb0 := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		tb1 := opt.run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, IndexModeOff: true, Calls: opt.Calls, Seed: opt.Seed})
 		// jemalloc and hoard through the adapters.
 		jm0, ja0 := runJemalloc(w, tcmalloc.ModeBaseline, opt.Calls, opt.Seed)
 		jm1, ja1 := runJemalloc(w, tcmalloc.ModeMallacc, opt.Calls, opt.Seed)

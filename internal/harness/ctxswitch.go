@@ -41,9 +41,9 @@ func CtxSwitch(opt ExpOptions) *Report {
 		row := []string{wn}
 		hitRow := []string{wn}
 		for _, iv := range ctxIntervals {
-			base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed,
+			base := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed,
 				Threads: 4, SwitchEvery: iv})
-			mall := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 16, Calls: opt.Calls, Seed: opt.Seed,
+			mall := opt.run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 16, Calls: opt.Calls, Seed: opt.Seed,
 				Threads: 4, SwitchEvery: iv})
 			imp := 100 * (float64(base.AllocatorCycles()) - float64(mall.AllocatorCycles())) / float64(base.AllocatorCycles())
 			row = append(row, pct(imp))

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mallacc/internal/area"
+	"mallacc/internal/multicore"
 	"mallacc/internal/stats"
 	"mallacc/internal/uop"
 	"mallacc/internal/workload"
@@ -24,6 +25,33 @@ type ExpOptions struct {
 	Metrics bool
 	// Cores caps the multi-core scaling sweep (default 16).
 	Cores int
+
+	// Submit, when non-nil, executes single-core runs on behalf of the
+	// experiments. The simulation service (internal/simsvc) injects a
+	// submitter that routes every run through its content-addressed result
+	// cache, so sweeps with overlapping grids — fig13 and fig14 share all
+	// their runs, repeated invocations share everything — re-simulate
+	// nothing. Nil falls back to Run.
+	Submit func(Options) *Result
+	// SubmitCluster is Submit for multi-core runs (the scale sweep).
+	SubmitCluster func(multicore.Config) *multicore.Result
+}
+
+// run executes one single-core simulation through the configured submitter.
+func (o ExpOptions) run(opt Options) *Result {
+	if o.Submit != nil {
+		return o.Submit(opt)
+	}
+	return Run(opt)
+}
+
+// runCluster executes one multi-core simulation through the configured
+// submitter.
+func (o ExpOptions) runCluster(cfg multicore.Config) *multicore.Result {
+	if o.SubmitCluster != nil {
+		return o.SubmitCluster(cfg)
+	}
+	return multicore.Run(cfg)
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -97,7 +125,7 @@ func mustWorkload(name string) workload.Workload {
 // 10^3, and span/page-allocator work around 10^4+.
 func Figure1(opt ExpOptions) *Report {
 	opt = opt.withDefaults()
-	r := Run(Options{Workload: mustWorkload("400.perlbench"), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+	r := opt.run(Options{Workload: mustWorkload("400.perlbench"), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 	rep := &Report{ID: "fig1", Title: "Time in malloc calls by duration, 400.perlbench (baseline)"}
 	rep.Notes = append(rep.Notes,
 		"paper: three peaks — fast path, central free list, page allocator; miss >= 3 orders of magnitude costlier than a hit",
@@ -176,7 +204,7 @@ func Figure2(opt ExpOptions) *Report {
 	rep.Notes = append(rep.Notes, "paper: >60% of malloc time below 100 cycles for SPEC; masstree perf tests >30% on the fast path")
 	tb := &table{header: []string{"workload", "<32cy", "<100cy", "<1k", "<10k", "<100k"}}
 	for _, w := range workload.Macro() {
-		r := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		r := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 		tb.addRow(w.Name(),
 			pct(r.MallocHist.TimeCDFBelow(32)),
 			pct(r.MallocHist.TimeCDFBelow(100)),
@@ -219,8 +247,8 @@ func Table1(opt ExpOptions) *Report {
 	tb := &table{header: []string{"benchmark", "analytic(cyc)", "detailed(cyc)", "error", "paper-native(cyc)"}}
 	var errSum float64
 	for _, c := range table1Benchmarks {
-		det := Run(Options{Workload: mustWorkload(c.name), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
-		ana := Run(Options{Workload: mustWorkload(c.name), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed, AnalyticCPU: true})
+		det := opt.run(Options{Workload: mustWorkload(c.name), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		ana := opt.run(Options{Workload: mustWorkload(c.name), Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed, AnalyticCPU: true})
 		d, a := det.MeanMallocCycles(), ana.MeanMallocCycles()
 		e := 100 * abs(d-a) / a
 		errSum += e
@@ -255,7 +283,7 @@ func Figure4(opt ExpOptions) *Report {
 		for _, s := range steps {
 			drop[s] = true
 		}
-		r := Run(Options{Workload: w, Variant: VariantBaseline, UseDropSteps: true, DropSteps: drop, Calls: opt.Calls, Seed: opt.Seed})
+		r := opt.run(Options{Workload: w, Variant: VariantBaseline, UseDropSteps: true, DropSteps: drop, Calls: opt.Calls, Seed: opt.Seed})
 		rep.addRun(opt.Metrics, w.Name()+"/"+label, r)
 		return r.MeanFastMallocCycles()
 	}
@@ -285,7 +313,7 @@ func Figure6(opt ExpOptions) *Report {
 	rep.Notes = append(rep.Notes, "paper: all but one workload use <5 classes on 90% of calls; xalancbmk needs ~30; masstree ~1")
 	tb := &table{header: []string{"workload", "classes", "50%", "90%", "99%"}}
 	for _, w := range workload.Macro() {
-		r := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		r := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 		counts := make([]uint64, 0, len(r.ClassCounts))
 		var total uint64
 		for _, c := range r.ClassCounts {
@@ -315,9 +343,9 @@ func Figure6(opt ExpOptions) *Report {
 // returns per-workload improvements of the chosen metric.
 func improvementRows(opt ExpOptions, rep *Report, metric func(*Result) float64) (names []string, mallacc, limit []float64) {
 	for _, w := range workload.Macro() {
-		base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
-		mall := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
-		lim := Run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
+		base := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		mall := opt.run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
+		lim := opt.run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
 		rep.addRun(opt.Metrics, w.Name()+"/baseline", base)
 		rep.addRun(opt.Metrics, w.Name()+"/mallacc", mall)
 		rep.addRun(opt.Metrics, w.Name()+"/limit", lim)
@@ -381,7 +409,7 @@ func durationComparison(id, title, wname string, opt ExpOptions, note string) *R
 	rep.Notes = append(rep.Notes, note)
 	var results [3]*Result
 	for i, v := range []Variant{VariantBaseline, VariantLimit, VariantMallacc} {
-		results[i] = Run(Options{Workload: mustWorkload(wname), Variant: v, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
+		results[i] = opt.run(Options{Workload: mustWorkload(wname), Variant: v, MCEntries: 32, Calls: opt.Calls, Seed: opt.Seed})
 		rep.addRun(opt.Metrics, wname+"/"+v.String(), results[i])
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf("median malloc cycles: baseline=%.0f limit=%.0f mallacc=%.0f",
@@ -448,14 +476,14 @@ func Figure17(opt ExpOptions) *Report {
 	header = append(header, "limit")
 	tb := &table{header: header}
 	for _, w := range workload.Micro() {
-		base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		base := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 		b := float64(base.MallocCycles)
 		row := []string{w.Name()}
 		for _, s := range sizes {
-			r := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: s, Calls: opt.Calls, Seed: opt.Seed})
+			r := opt.run(Options{Workload: w, Variant: VariantMallacc, MCEntries: s, Calls: opt.Calls, Seed: opt.Seed})
 			row = append(row, pct(100*(b-float64(r.MallocCycles))/b))
 		}
-		lim := Run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
+		lim := opt.run(Options{Workload: w, Variant: VariantLimit, Calls: opt.Calls, Seed: opt.Seed})
 		row = append(row, pct(100*(b-float64(lim.MallocCycles))/b))
 		tb.addRow(row...)
 	}
@@ -476,7 +504,7 @@ func Figure18(opt ExpOptions) *Report {
 	tb := &table{header: []string{"workload", "fraction", ""}}
 	tb.addRow("WSC (Kanev et al.)", pct(figure18WSC), bar(figure18WSC, 20, 40))
 	for _, w := range workload.Macro() {
-		r := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
+		r := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: opt.Seed})
 		f := 100 * r.AllocatorFraction()
 		tb.addRow(w.Name(), pct(f), bar(f, 20, 40))
 	}
@@ -498,8 +526,8 @@ func Table2(opt ExpOptions) *Report {
 		var baseTotals, mallTotals, speedups []float64
 		for s := 0; s < opt.Seeds; s++ {
 			seed := opt.Seed + uint64(s)*7919
-			base := Run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: seed})
-			mall := Run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: seed})
+			base := opt.run(Options{Workload: w, Variant: VariantBaseline, Calls: opt.Calls, Seed: seed})
+			mall := opt.run(Options{Workload: w, Variant: VariantMallacc, MCEntries: 32, Calls: opt.Calls, Seed: seed})
 			bt, mt := float64(base.TotalCycles), float64(mall.TotalCycles)
 			baseTotals = append(baseTotals, bt)
 			mallTotals = append(mallTotals, mt)

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+
+	"mallacc/internal/multicore"
+)
+
+// ReportForRun renders one single-core run as a Report, the service job
+// result format: the run's headline numbers as a typed table, the
+// time-weighted malloc duration histogram as a series, and (when metrics is
+// set) the full telemetry snapshot. Everything in it derives from the
+// simulation's logical clocks, so the rendering is byte-reproducible for a
+// given spec — the property the content-addressed result cache relies on.
+func ReportForRun(r *Result, metrics bool) *Report {
+	rep := &Report{
+		ID:    "run",
+		Title: fmt.Sprintf("%s under %s", r.Workload, r.Variant),
+	}
+	tb := &table{header: []string{"metric", "value"}}
+	tb.addRow("workload", r.Workload)
+	tb.addRow("variant", r.Variant.String())
+	tb.addRow("malloc calls", fmt.Sprintf("%d", r.MallocCalls))
+	tb.addRow("free calls", fmt.Sprintf("%d", r.FreeCalls))
+	tb.addRow("malloc mean cycles", fmt.Sprintf("%.2f", r.MeanMallocCycles()))
+	tb.addRow("malloc p50 cycles", fmt.Sprintf("%.2f", r.MallocHist.MedianCycles()))
+	tb.addRow("malloc p99 cycles", fmt.Sprintf("%.2f", r.MallocHist.PercentileCycles(99)))
+	tb.addRow("fast malloc mean cycles", fmt.Sprintf("%.2f", r.MeanFastMallocCycles()))
+	if r.FreeCalls > 0 {
+		tb.addRow("free mean cycles", fmt.Sprintf("%.2f", float64(r.FreeCycles)/float64(r.FreeCalls)))
+	}
+	tb.addRow("allocator fraction", pct(100*r.AllocatorFraction()))
+	tb.addRow("total cycles", fmt.Sprintf("%d", r.TotalCycles))
+	tb.addRow("ipc", fmt.Sprintf("%.3f", r.CPU.IPC()))
+	if r.MC != nil {
+		tb.addRow("mc lookup hit rate", pct(100*r.MC.LookupHitRate()))
+		tb.addRow("mc pop hit rate", pct(100*r.MC.PopHitRate()))
+	}
+	rep.addTable("run summary", tb)
+	rep.Series = append(rep.Series, histSeries("time-in-calls", r))
+	rep.addRun(metrics, r.Workload+"/"+r.Variant.String(), r)
+	return rep
+}
+
+// ReportForCluster renders one multi-core run as a Report (see
+// ReportForRun): machine-wide aggregates, the per-core breakdown, and
+// optionally the full telemetry snapshot.
+func ReportForCluster(r *multicore.Result, metrics bool) *Report {
+	rep := &Report{
+		ID:    "cluster",
+		Title: fmt.Sprintf("%s under %s on %d cores", r.Workload, r.Variant, r.Cores),
+	}
+	tb := &table{header: []string{"metric", "value"}}
+	tb.addRow("workload", r.Workload)
+	tb.addRow("variant", r.Variant.String())
+	tb.addRow("cores", fmt.Sprintf("%d", r.Cores))
+	tb.addRow("malloc calls", fmt.Sprintf("%d", r.MallocCalls))
+	tb.addRow("free calls", fmt.Sprintf("%d", r.FreeCalls))
+	tb.addRow("remote frees", fmt.Sprintf("%d", r.RemoteFrees))
+	tb.addRow("malloc mean cycles", fmt.Sprintf("%.2f", r.MeanMallocCycles()))
+	tb.addRow("allocator fraction", pct(100*r.AllocatorFraction()))
+	tb.addRow("allocator cycles", fmt.Sprintf("%d", r.AllocatorCycles()))
+	tb.addRow("wall cycles", fmt.Sprintf("%d", r.WallCycles))
+	tb.addRow("central lock cycles/call", fmt.Sprintf("%.3f", r.LockCyclesPerCall()))
+	if r.MC != nil {
+		tb.addRow("mc lookup hit rate", pct(100*r.MCLookupHitRate()))
+		tb.addRow("mc pop hit rate", pct(100*r.MCPopHitRate()))
+	}
+	rep.addTable("cluster summary", tb)
+
+	pc := &table{header: []string{"core", "mallocs", "frees", "malloc mean", "total cycles", "remote drained", "yields"}}
+	for i, cs := range r.PerCore {
+		mean := 0.0
+		if cs.MallocCalls > 0 {
+			mean = float64(cs.MallocCycles) / float64(cs.MallocCalls)
+		}
+		pc.addRow(fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", cs.MallocCalls), fmt.Sprintf("%d", cs.FreeCalls),
+			fmt.Sprintf("%.1f", mean), fmt.Sprintf("%d", cs.TotalCycles),
+			fmt.Sprintf("%d", cs.RemoteDrained), fmt.Sprintf("%d", cs.Yields))
+	}
+	rep.addTable("per-core breakdown", pc)
+	if metrics {
+		rep.Runs = append(rep.Runs, RunMetrics{
+			Name:    fmt.Sprintf("%s/%s/%dcores", r.Workload, r.Variant, r.Cores),
+			Metrics: r.Telemetry,
+		})
+	}
+	return rep
+}

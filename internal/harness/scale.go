@@ -48,7 +48,7 @@ func Scale(opt ExpOptions) *Report {
 			continue
 		}
 		for _, v := range variants {
-			r := multicore.Run(multicore.Config{
+			r := opt.runCluster(multicore.Config{
 				Cores:        cores,
 				Variant:      v,
 				Workload:     w,

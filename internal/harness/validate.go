@@ -1,0 +1,62 @@
+package harness
+
+import "fmt"
+
+// Bounds every entry point (CLI flags, service job specs) agrees on. The
+// simulator is deterministic but not free: these caps keep a single request
+// from wedging a worker for hours or overflowing the logical clocks.
+const (
+	// MaxCores caps simulated machine width (the scaling study tops out at
+	// 16; 64 leaves headroom for wider sweeps).
+	MaxCores = 64
+	// MaxCalls caps the allocator-call budget of one run.
+	MaxCalls = 50_000_000
+	// MaxSeeds caps the repetition count of the significance study.
+	MaxSeeds = 64
+)
+
+// ValidateCores checks a simulated core count.
+func ValidateCores(cores int) error {
+	if cores < 1 || cores > MaxCores {
+		return fmt.Errorf("cores %d out of range [1, %d]", cores, MaxCores)
+	}
+	return nil
+}
+
+// ValidateSeed checks an RNG seed. Seed 0 is reserved as "unset" (the
+// experiment options treat it as a default request), so callers must pass a
+// positive seed.
+func ValidateSeed(seed uint64) error {
+	if seed == 0 {
+		return fmt.Errorf("seed must be >= 1 (0 is reserved as unset)")
+	}
+	return nil
+}
+
+// ValidateCalls checks an allocator-call budget.
+func ValidateCalls(calls int) error {
+	if calls < 1 || calls > MaxCalls {
+		return fmt.Errorf("calls %d out of range [1, %d]", calls, MaxCalls)
+	}
+	return nil
+}
+
+// ValidateSeeds checks a significance-study repetition count.
+func ValidateSeeds(seeds int) error {
+	if seeds < 1 || seeds > MaxSeeds {
+		return fmt.Errorf("seeds %d out of range [1, %d]", seeds, MaxSeeds)
+	}
+	return nil
+}
+
+// ValidateRunBounds is the shared CLI check for the flags every simulation
+// entry point takes; it reports the first violated bound.
+func ValidateRunBounds(cores int, seed uint64, calls int) error {
+	if err := ValidateCores(cores); err != nil {
+		return err
+	}
+	if err := ValidateSeed(seed); err != nil {
+		return err
+	}
+	return ValidateCalls(calls)
+}

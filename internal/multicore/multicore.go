@@ -102,7 +102,11 @@ type Config struct {
 	Registry *telemetry.Registry
 }
 
-func (cfg Config) withDefaults() Config {
+// WithDefaults returns the config with every unset knob resolved to its
+// default. New applies it; external callers (the simulation service) use it
+// to canonicalize configs before content-addressing them, so a zero field
+// and its explicit default hash identically.
+func (cfg Config) WithDefaults() Config {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 2
 	}
@@ -149,7 +153,7 @@ type Engine struct {
 
 // New builds an engine. The workload is required.
 func New(cfg Config) *Engine {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if cfg.Workload == nil {
 		panic("multicore: Config.Workload is required")
 	}

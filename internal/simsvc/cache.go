@@ -1,0 +1,145 @@
+package simsvc
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"mallacc/internal/telemetry"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU of
+// serialized reports keyed by canonical-spec hash, with an optional
+// write-through on-disk tier so results survive daemon restarts. Values
+// are treated as immutable byte slices; callers must not modify what Get
+// returns.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	dir     string
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element holding cacheEntry
+
+	hits, misses, diskHits, evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// DefaultCacheEntries is the in-memory LRU capacity when the config leaves
+// it unset.
+const DefaultCacheEntries = 256
+
+// NewCache builds a cache holding up to capacity reports in memory
+// (DefaultCacheEntries when <= 0). A non-empty dir enables the disk tier:
+// every stored report is also written to dir/<key>.json and disk entries
+// are promoted back into memory on first use.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		cap:     capacity,
+		dir:     dir,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}, nil
+}
+
+// Get returns the stored report for key. A memory miss falls through to
+// the disk tier (when enabled), promoting the file back into the LRU.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		val := el.Value.(cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return val, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		// Keys are hex digests produced by this package, so the path join
+		// cannot escape the cache directory.
+		if b, err := os.ReadFile(filepath.Join(c.dir, key+".json")); err == nil {
+			c.diskHits.Add(1)
+			c.hits.Add(1)
+			c.insert(key, b)
+			return b, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a report under key in memory and, when the disk tier is
+// enabled, on disk (written to a temp file and renamed, so readers never
+// see a torn report).
+func (c *Cache) Put(key string, val []byte) {
+	c.insert(key, val)
+	if c.dir == "" {
+		return
+	}
+	path := filepath.Join(c.dir, key+".json")
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return // disk tier is best-effort; memory tier already holds it
+	}
+	if _, err := tmp.Write(val); err == nil {
+		if err := tmp.Close(); err == nil {
+			os.Rename(tmp.Name(), path)
+			return
+		}
+	} else {
+		tmp.Close()
+	}
+	os.Remove(tmp.Name())
+}
+
+func (c *Cache) insert(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value = cacheEntry{key: key, val: val}
+		return
+	}
+	c.entries[key] = c.order.PushFront(cacheEntry{key: key, val: val})
+	for len(c.entries) > c.cap {
+		last := c.order.Back()
+		ent := last.Value.(cacheEntry)
+		c.order.Remove(last)
+		delete(c.entries, ent.key)
+		c.evictions.Add(1) // memory only; the disk copy, if any, stays
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits returns the cumulative (memory + disk) hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// RegisterMetrics publishes the cache counters under simsvc.cache.*.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("simsvc.cache.hits", c.hits.Load)
+	reg.Counter("simsvc.cache.misses", c.misses.Load)
+	reg.Counter("simsvc.cache.disk.hits", c.diskHits.Load)
+	reg.Counter("simsvc.cache.evictions", c.evictions.Load)
+	reg.Gauge("simsvc.cache.entries", func() float64 { return float64(c.Len()) })
+}

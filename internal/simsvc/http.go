@@ -1,0 +1,109 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Handler returns the service's HTTP JSON API:
+//
+//	POST   /v1/jobs      submit a JobSpec; 200 done (cache hit), 202 queued,
+//	                     400 invalid spec, 429 queue full, 503 draining
+//	GET    /v1/jobs/{id} job status, report included once done
+//	DELETE /v1/jobs/{id} cancel; 409 when already finished
+//	GET    /v1/healthz   liveness + occupancy
+//	GET    /v1/metrics   telemetry snapshot (compact map form)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError is the error document every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "read body: " + err.Error()})
+		return
+	}
+	spec, err := DecodeSpec(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrInvalidSpec):
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	status := http.StatusAccepted
+	if st.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, st)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+	case errors.Is(err, ErrJobFinished):
+		writeJSON(w, http.StatusConflict, st)
+	default:
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+		Health
+	}{OK: true, Health: h})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}

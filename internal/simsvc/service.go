@@ -1,0 +1,279 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mallacc/internal/harness"
+	"mallacc/internal/multicore"
+	"mallacc/internal/telemetry"
+	"mallacc/internal/workload"
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the simulation worker-pool width (default GOMAXPROCS).
+	Workers int
+	// QueueHighWater is the backpressure threshold (default 64).
+	QueueHighWater int
+	// JobTimeout bounds one job (default 10m).
+	JobTimeout time.Duration
+	// CacheEntries sizes the in-memory report LRU (default 256).
+	CacheEntries int
+	// CacheDir, when set, persists reports to CacheDir/<key>.json.
+	CacheDir string
+	// Registry receives the simsvc.* metrics; a fresh one is created when
+	// nil.
+	Registry *telemetry.Registry
+}
+
+// maxRunResults bounds each run-level result map. Past the cap new results
+// are still returned but no longer memoized; a sweep grid is a few hundred
+// runs, far below it.
+const maxRunResults = 4096
+
+// Service glues the scheduler, the job-level report cache and the
+// run-level result caches together and exposes the submit/query surface
+// the HTTP handler and the batch CLIs share.
+type Service struct {
+	reg   *telemetry.Registry
+	cache *Cache
+	sched *Scheduler
+
+	// Run-level memoization: experiments with overlapping grids (fig13 and
+	// fig14 share every run; fig17's sweep revisits the headline points)
+	// resolve their inner simulations here, keyed by the full option set.
+	runMu          sync.Mutex
+	runResults     map[string]*harness.Result
+	clusterResults map[string]*multicore.Result
+
+	runHits, runMisses atomic.Uint64
+}
+
+// New builds and starts a service. The returned service accepts jobs
+// immediately; call Drain to shut it down.
+func New(cfg Config) (*Service, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		reg:            reg,
+		cache:          cache,
+		runResults:     map[string]*harness.Result{},
+		clusterResults: map[string]*multicore.Result{},
+	}
+	s.sched = NewScheduler(SchedulerConfig{
+		Workers:        cfg.Workers,
+		QueueHighWater: cfg.QueueHighWater,
+		JobTimeout:     cfg.JobTimeout,
+		Runner:         s.execute,
+	})
+	s.cache.RegisterMetrics(reg)
+	s.sched.RegisterMetrics(reg)
+	reg.Counter("simsvc.runcache.hits", s.runHits.Load)
+	reg.Counter("simsvc.runcache.misses", s.runMisses.Load)
+	return s, nil
+}
+
+// Registry returns the service's metric registry.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Cache returns the job-level report cache.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Submit canonicalizes and admits a job. A cache hit returns a job already
+// in state done with the stored report and Cached set; a miss enqueues the
+// job for the worker pool.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	c, err := spec.Canonicalize()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	key := c.Key()
+	if b, ok := s.cache.Get(key); ok {
+		return s.sched.Completed(c, key, b)
+	}
+	return s.sched.Enqueue(c, key)
+}
+
+// Job returns a job's current status.
+func (s *Service) Job(id string) (JobStatus, error) { return s.sched.Job(id) }
+
+// Await blocks until the job is terminal or ctx expires.
+func (s *Service) Await(ctx context.Context, id string) (JobStatus, error) {
+	return s.sched.Await(ctx, id)
+}
+
+// Cancel cancels a job (see Scheduler.Cancel).
+func (s *Service) Cancel(id string) (JobStatus, error) { return s.sched.Cancel(id) }
+
+// Health returns the scheduler's occupancy.
+func (s *Service) Health() Health { return s.sched.Health() }
+
+// Drain gracefully shuts the service down (see Scheduler.Drain).
+func (s *Service) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// execute is the scheduler's Runner: it simulates the spec, serializes the
+// report, and stores it under the job's content address.
+func (s *Service) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
+	rep, err := s.buildReport(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, fmt.Errorf("marshal report: %w", err)
+	}
+	s.cache.Put(spec.Key(), b)
+	return b, nil
+}
+
+// buildReport runs the simulation behind a canonical spec.
+func (s *Service) buildReport(ctx context.Context, spec JobSpec) (*harness.Report, error) {
+	switch spec.Kind {
+	case KindRun:
+		return harness.ReportForRun(s.cachedRun(spec.runOptions()), spec.Metrics), nil
+	case KindCluster:
+		return harness.ReportForCluster(s.cachedCluster(spec.clusterConfig()), spec.Metrics), nil
+	case KindExperiment:
+		exp, ok := harness.ByID(spec.Experiment)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", spec.Experiment)
+		}
+		// The hooks below abort at the next run boundary once the job's
+		// context dies: experiments are long chains of runs, and the
+		// sentinel panic is recovered by the worker's isolation goroutine.
+		return exp.Run(harness.ExpOptions{
+			Calls:   spec.Calls,
+			Seeds:   spec.Seeds,
+			Seed:    spec.Seed,
+			Metrics: spec.Metrics,
+			Cores:   spec.Cores,
+			Submit: func(opt harness.Options) *harness.Result {
+				abortIfDone(ctx)
+				return s.cachedRun(opt)
+			},
+			SubmitCluster: func(cfg multicore.Config) *multicore.Result {
+				abortIfDone(ctx)
+				return s.cachedCluster(cfg)
+			},
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}
+
+// abortIfDone panics with the cancellation sentinel once the job context
+// is dead, aborting an experiment at a run boundary.
+func abortIfDone(ctx context.Context) {
+	if ctx.Err() != nil {
+		panic(errRunCanceled)
+	}
+}
+
+// cachedRun memoizes single-core runs by full option fingerprint.
+func (s *Service) cachedRun(opt harness.Options) *harness.Result {
+	key, ok := runKeyOf(opt)
+	if !ok {
+		return harness.Run(opt)
+	}
+	s.runMu.Lock()
+	if r, hit := s.runResults[key]; hit {
+		s.runMu.Unlock()
+		s.runHits.Add(1)
+		return r
+	}
+	s.runMu.Unlock()
+	s.runMisses.Add(1)
+	r := harness.Run(opt)
+	s.runMu.Lock()
+	if len(s.runResults) < maxRunResults {
+		s.runResults[key] = r
+	}
+	s.runMu.Unlock()
+	return r
+}
+
+// cachedCluster memoizes multi-core runs by full config fingerprint.
+func (s *Service) cachedCluster(cfg multicore.Config) *multicore.Result {
+	key, ok := clusterKeyOf(cfg)
+	if !ok {
+		return multicore.Run(cfg)
+	}
+	s.runMu.Lock()
+	if r, hit := s.clusterResults[key]; hit {
+		s.runMu.Unlock()
+		s.runHits.Add(1)
+		return r
+	}
+	s.runMu.Unlock()
+	s.runMisses.Add(1)
+	r := multicore.Run(cfg)
+	s.runMu.Lock()
+	if len(s.clusterResults) < maxRunResults {
+		s.clusterResults[key] = r
+	}
+	s.runMu.Unlock()
+	return r
+}
+
+// runOptions lowers a canonical run spec to harness options.
+func (s JobSpec) runOptions() harness.Options {
+	w, _ := workload.ByName(s.Workload)
+	return harness.Options{
+		Workload:  w,
+		Variant:   runVariantOf(s.Variant),
+		MCEntries: s.MCEntries,
+		Calls:     s.Calls,
+		Seed:      s.Seed,
+	}
+}
+
+// clusterConfig lowers a canonical cluster spec to a multicore config,
+// splitting the call budget across cores the way mallacc-sim does.
+func (s JobSpec) clusterConfig() multicore.Config {
+	w, _ := workload.ByName(s.Workload)
+	perCore := s.Calls / s.Cores
+	if perCore < 1 {
+		perCore = 1
+	}
+	return multicore.Config{
+		Cores:        s.Cores,
+		Variant:      clusterVariantOf(s.Variant),
+		MCEntries:    s.MCEntries,
+		Workload:     w,
+		CallsPerCore: perCore,
+		Seed:         s.Seed,
+	}
+}
+
+func runVariantOf(v string) harness.Variant {
+	switch v {
+	case "mallacc":
+		return harness.VariantMallacc
+	case "limit":
+		return harness.VariantLimit
+	default:
+		return harness.VariantBaseline
+	}
+}
+
+func clusterVariantOf(v string) multicore.Variant {
+	switch v {
+	case "mallacc":
+		return multicore.Mallacc
+	case "limit":
+		return multicore.Limit
+	default:
+		return multicore.Baseline
+	}
+}

@@ -1,0 +1,206 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mallacc/internal/harness"
+)
+
+func TestDecodeSpecStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"minimal run", `{"workload":"ubench.gauss"}`, true},
+		{"experiment", `{"experiment":"fig13"}`, true},
+		{"empty object", `{}`, true}, // decodes; Canonicalize rejects it
+		{"unknown field", `{"workload":"ubench.gauss","bogus":1}`, false},
+		{"duplicate key", `{"workload":"a","workload":"b"}`, false},
+		{"nested duplicate is caught too", `{"workload":{"x":1,"x":2}}`, false},
+		{"top-level array", `[1,2]`, false},
+		{"top-level string", `"hi"`, false},
+		{"trailing garbage", `{"workload":"a"} {"workload":"b"}`, false},
+		{"wrong type", `{"calls":"many"}`, false},
+		{"deep nesting", `{"workload":` + strings.Repeat("[", 100) + strings.Repeat("]", 100) + `}`, false},
+		{"not json", `{workload}`, false},
+		{"empty input", ``, false},
+	}
+	for _, c := range cases {
+		_, err := DecodeSpec([]byte(c.in))
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestCanonicalizeDefaults(t *testing.T) {
+	c, err := JobSpec{Workload: "ubench.gauss"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{Kind: KindRun, Workload: "ubench.gauss", Variant: "baseline",
+		MCEntries: 32, Cores: 1, Calls: 60000, Seed: 1}
+	if c != want {
+		t.Fatalf("canonical run = %+v, want %+v", c, want)
+	}
+
+	c, err = JobSpec{Experiment: "fig13"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = JobSpec{Kind: KindExperiment, Experiment: "fig13", Seeds: 6, Cores: 16, Calls: 60000, Seed: 1}
+	if c != want {
+		t.Fatalf("canonical experiment = %+v, want %+v", c, want)
+	}
+
+	// Cores > 1 infers a cluster job.
+	c, err = JobSpec{Workload: "ubench.gauss", Cores: 4}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindCluster {
+		t.Fatalf("kind = %q, want cluster", c.Kind)
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	bad := []JobSpec{
+		{},                                 // nothing specified
+		{Workload: "no.such.workload"},     // unknown workload
+		{Experiment: "no.such.experiment"}, // unknown experiment
+		{Workload: "ubench.gauss", Variant: "turbo"},
+		{Workload: "ubench.gauss", Calls: -1},
+		{Workload: "ubench.gauss", Calls: harness.MaxCalls + 1},
+		{Workload: "ubench.gauss", MCEntries: -3},
+		{Workload: "ubench.gauss", MCEntries: 4096},
+		{Workload: "ubench.gauss", Cores: harness.MaxCores + 1},
+		{Workload: "ubench.gauss", Cores: -2},
+		{Workload: "ubench.gauss", Seeds: 3},                // seeds is experiment-only
+		{Workload: "ubench.gauss", Kind: KindRun, Cores: 4}, // run jobs are single-core
+		{Experiment: "fig13", Workload: "ubench.gauss"},     // both set
+		{Experiment: "fig13", Seeds: harness.MaxSeeds + 1},
+		{Kind: "batch", Workload: "ubench.gauss"}, // unknown kind
+	}
+	for i, s := range bad {
+		if _, err := s.Canonicalize(); err == nil {
+			t.Errorf("case %d (%+v): error expected", i, s)
+		}
+	}
+}
+
+// TestKeyStability pins the content-address properties: canonicalization is
+// idempotent, explicit defaults hash like omitted ones, field order in the
+// wire form is irrelevant, and distinct jobs get distinct keys.
+func TestKeyStability(t *testing.T) {
+	a, err := JobSpec{Workload: "ubench.gauss"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobSpec{Kind: KindRun, Workload: "ubench.gauss", Variant: "baseline",
+		MCEntries: 32, Cores: 1, Calls: 60000, Seed: 1}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("explicit defaults should hash like omitted defaults")
+	}
+
+	// Field order in JSON must not matter.
+	s1, err1 := DecodeSpec([]byte(`{"workload":"ubench.gauss","variant":"mallacc","calls":1000}`))
+	s2, err2 := DecodeSpec([]byte(`{"calls":1000,"variant":"mallacc","workload":"ubench.gauss"}`))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	c1, _ := s1.Canonicalize()
+	c2, _ := s2.Canonicalize()
+	if c1.Key() != c2.Key() {
+		t.Fatal("field order changed the key")
+	}
+
+	// Canonicalize is idempotent.
+	again, err := c1.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Key() != c1.Key() {
+		t.Fatal("canonicalize is not idempotent")
+	}
+
+	// Distinct jobs diverge.
+	d, _ := JobSpec{Workload: "ubench.gauss", Seed: 2}.Canonicalize()
+	if d.Key() == a.Key() {
+		t.Fatal("different seeds collided")
+	}
+}
+
+// FuzzJobSpec hammers the decoder and canonicalizer: no input may panic,
+// and any input that decodes and canonicalizes must round-trip through its
+// canonical JSON to the identical key (the property the result cache's
+// correctness rests on).
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		`{"workload":"ubench.gauss"}`,
+		`{"experiment":"fig13","seeds":3}`,
+		`{"kind":"cluster","workload":"server.requests","cores":4,"calls":280000,"seed":99}`,
+		`{"workload":"ubench.tp_small","variant":"mallacc","mc_entries":16,"metrics":true}`,
+		`{"workload":"a","workload":"b"}`,
+		`{"calls":18446744073709551615}`,
+		`{"calls":-99999999999,"cores":-1,"seed":0}`,
+		`{}`, `[]`, `null`, `{"kind":`, strings.Repeat(`{"a":`, 50),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		c, err := s.Canonicalize()
+		if err != nil {
+			return
+		}
+		key := c.Key()
+		// The canonical form re-encodes, re-decodes and re-canonicalizes
+		// to the same key.
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal canonical: %v", err)
+		}
+		s2, err := DecodeSpec(b)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-decode: %v (%s)", err, b)
+		}
+		c2, err := s2.Canonicalize()
+		if err != nil {
+			t.Fatalf("canonical form failed to re-canonicalize: %v (%s)", err, b)
+		}
+		if c2.Key() != key {
+			t.Fatalf("key drifted across round trip: %s vs %s (%s)", key, c2.Key(), b)
+		}
+		// Bounds actually hold on canonical specs.
+		if err := harness.ValidateRunBounds(c.Cores, c.Seed, c.Calls); err != nil {
+			t.Fatalf("canonical spec out of bounds: %v (%s)", err, b)
+		}
+	})
+}
+
+// TestKeyIsHexSHA256 pins the key format the disk cache uses as file names.
+func TestKeyIsHexSHA256(t *testing.T) {
+	c, _ := JobSpec{Workload: "ubench.gauss"}.Canonicalize()
+	key := c.Key()
+	if len(key) != 64 {
+		t.Fatalf("key length %d, want 64", len(key))
+	}
+	for _, r := range key {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			t.Fatalf("key %q is not lowercase hex", key)
+		}
+	}
+}

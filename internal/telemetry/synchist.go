@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"sync"
+
+	"mallacc/internal/stats"
+)
+
+// SyncHist is a mutex-guarded duration histogram for metrics fed from
+// concurrent goroutines. The simulation registries keep using bare
+// *stats.DurationHist — they are write-once, single-goroutine, and
+// snapshotted only after a run finishes — but a live daemon (the simulation
+// service) observes values from many workers while /v1/metrics snapshots
+// race with the updates, so its histograms go through SyncHist.
+type SyncHist struct {
+	mu sync.Mutex
+	h  *stats.DurationHist
+}
+
+// NewSyncHist returns an empty concurrent histogram.
+func NewSyncHist() *SyncHist { return &SyncHist{h: stats.NewDurationHist()} }
+
+// Observe records one value.
+func (s *SyncHist) Observe(v uint64) {
+	s.mu.Lock()
+	s.h.Add(v)
+	s.mu.Unlock()
+}
+
+// metric reads a consistent point-in-time summary under the lock.
+func (s *SyncHist) metric(name string) Metric {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metric{Name: name, Kind: KindHistogram, Count: s.h.N(), Sum: s.h.TotalCycles()}
+	m.Value = float64(s.h.N())
+	if s.h.N() > 0 {
+		m.Mean = s.h.MeanCycles()
+		m.P50 = s.h.MedianCycles()
+		m.P99 = s.h.PercentileCycles(99)
+	}
+	return m
+}
+
+// SyncHistogram registers a concurrent histogram under name; the registry
+// summarizes it under its lock at snapshot time.
+func (r *Registry) SyncHistogram(name string, h *SyncHist) {
+	root, pre := r.rootAndPrefix()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.checkFresh(pre + name)
+	root.synchists[pre+name] = h
+}

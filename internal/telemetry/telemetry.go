@@ -153,6 +153,71 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// UnmarshalJSON parses the compact map form MarshalJSON emits, restoring a
+// sorted Metrics slice, so snapshots embedded in cached reports survive a
+// serialize/deserialize round trip byte-identically. Plain numbers cannot
+// distinguish counters from gauges; a non-negative integer is classified as
+// a counter, anything else as a gauge — both re-marshal to the same bytes.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	ms := make([]Metric, 0, len(raw))
+	for name, v := range raw {
+		m := Metric{Name: name}
+		if len(v) > 0 && v[0] == '{' {
+			var h struct {
+				Count uint64  `json:"count"`
+				Sum   uint64  `json:"sum"`
+				Mean  float64 `json:"mean"`
+				P50   float64 `json:"p50"`
+				P99   float64 `json:"p99"`
+			}
+			if err := json.Unmarshal(v, &h); err != nil {
+				return err
+			}
+			m.Kind = KindHistogram
+			m.Count, m.Sum, m.Mean, m.P50, m.P99 = h.Count, h.Sum, h.Mean, h.P50, h.P99
+			m.Value = float64(h.Count)
+		} else {
+			var num json.Number
+			if err := json.Unmarshal(v, &num); err != nil {
+				return err
+			}
+			f, err := num.Float64()
+			if err != nil {
+				return err
+			}
+			m.Value = f
+			if isCounterLiteral(num.String()) {
+				m.Kind = KindCounter
+			} else {
+				m.Kind = KindGauge
+			}
+		}
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	s.Metrics = ms
+	return nil
+}
+
+// isCounterLiteral reports whether a JSON number literal is a non-negative
+// integer (the only form counter values marshal to).
+func isCounterLiteral(lit string) bool {
+	if lit == "" || lit[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(lit); i++ {
+		switch lit[i] {
+		case '.', 'e', 'E':
+			return false
+		}
+	}
+	return true
+}
+
 // jsonRound trims float noise to 6 decimal places so snapshots diff cleanly
 // across toolchains.
 func jsonRound(v float64) float64 {
@@ -167,10 +232,11 @@ func jsonRound(v float64) float64 {
 // A Registry obtained from Sub is a prefixed view: it stores nothing itself
 // and forwards every registration to the root under "<prefix>name".
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]func() uint64
-	gauges   map[string]func() float64
-	hists    map[string]*stats.DurationHist
+	mu        sync.Mutex
+	counters  map[string]func() uint64
+	gauges    map[string]func() float64
+	hists     map[string]*stats.DurationHist
+	synchists map[string]*SyncHist
 
 	parent *Registry // non-nil on prefixed views
 	prefix string
@@ -179,9 +245,10 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]func() uint64{},
-		gauges:   map[string]func() float64{},
-		hists:    map[string]*stats.DurationHist{},
+		counters:  map[string]func() uint64{},
+		gauges:    map[string]func() float64{},
+		hists:     map[string]*stats.DurationHist{},
+		synchists: map[string]*SyncHist{},
 	}
 }
 
@@ -248,6 +315,9 @@ func (r *Registry) checkFresh(name string) {
 	if _, ok := r.hists[name]; ok {
 		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
 	}
+	if _, ok := r.synchists[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
 }
 
 // Len returns the number of registered metrics.
@@ -255,7 +325,7 @@ func (r *Registry) Len() int {
 	r, _ = r.rootAndPrefix()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.counters) + len(r.gauges) + len(r.hists)
+	return len(r.counters) + len(r.gauges) + len(r.hists) + len(r.synchists)
 }
 
 // Snapshot reads every registered source and returns the sorted result.
@@ -263,7 +333,10 @@ func (r *Registry) Snapshot() Snapshot {
 	r, _ = r.rootAndPrefix()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.synchists))
+	for name, h := range r.synchists {
+		ms = append(ms, h.metric(name))
+	}
 	for name, fn := range r.counters {
 		ms = append(ms, Metric{Name: name, Kind: KindCounter, Value: float64(fn())})
 	}

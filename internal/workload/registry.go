@@ -45,9 +45,10 @@ func Macro() []Workload {
 	}
 }
 
-// All returns every stock workload.
+// All returns every stock workload: the paper's micro- and macro-benchmarks
+// plus the extension workloads (the server request loop).
 func All() []Workload {
-	return append(Micro(), Macro()...)
+	return append(append(Micro(), Macro()...), NewServerRequests())
 }
 
 // ByName finds a stock workload by its exact name.

@@ -1,0 +1,56 @@
+package workload
+
+import "mallacc/internal/stats"
+
+// serverHeaderAllocs is one request's header-string count; with the
+// response buffer it fixes the per-request allocator-call footprint at
+// 2*(serverHeaderAllocs+1) (every allocation is freed at request end).
+const serverHeaderAllocs = 6
+
+// serverFootprint is the shared in-memory index a request's application
+// work reads against — large enough to pressure L2 between allocator calls.
+const serverFootprint = 8 << 20
+
+// server is the datacenter-style request-handling loop: each request parses
+// headers (several small short-lived strings), builds a response buffer
+// (occasionally large enough to stream from spans), does index-lookup work,
+// and frees everything with sized deletes at request end. It began life as
+// the examples/webserver driver and is registered as a stock workload so the
+// simulation service can resolve it by name — the service's own serving
+// loop, simulated.
+type server struct{}
+
+// NewServerRequests returns the request-handling loop workload.
+func NewServerRequests() Workload { return server{} }
+
+func (server) Name() string { return "server.requests" }
+
+func (server) Footprint() uint64 { return serverFootprint }
+
+func (server) Run(app App, budget int, rng *stats.RNG) {
+	const callsPerRequest = 2 * (serverHeaderAllocs + 1)
+	live := make([][2]uint64, 0, serverHeaderAllocs+1)
+	for calls := 0; calls+callsPerRequest <= budget; calls += callsPerRequest {
+		live = live[:0]
+
+		// Parse headers: small, short-lived strings.
+		for i := 0; i < serverHeaderAllocs; i++ {
+			sz := uint64(16 + rng.Intn(112))
+			live = append(live, [2]uint64{app.Malloc(sz), sz})
+		}
+		// Response buffer, occasionally large.
+		bufSize := uint64(512 + 256*uint64(rng.Intn(6)))
+		if rng.Bernoulli(0.005) {
+			bufSize = 300 << 10 // large responses stream from spans
+		}
+		live = append(live, [2]uint64{app.Malloc(bufSize), bufSize})
+
+		// Application work: index lookups and response rendering.
+		app.Work(800+rng.Uint64n(1200), 8)
+
+		// Request teardown: sized deletes.
+		for _, blk := range live {
+			app.Free(blk[0], blk[1])
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"mallacc/internal/hoard"
 	"mallacc/internal/jemalloc"
 	"mallacc/internal/multicore"
+	"mallacc/internal/simsvc"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
 	"mallacc/internal/telemetry"
@@ -125,6 +126,25 @@ func RunExperiment(id string, opt ExpOptions) (*Report, error) {
 	}
 	return e.Run(opt), nil
 }
+
+// Service is the simulation service: a job queue, a bounded worker pool
+// and a content-addressed result cache in front of the simulator. The
+// mallacc-serve daemon serves its HTTP API; embedders can run it
+// in-process and drive it through Submit/Await or mount Handler on their
+// own listener.
+type Service = simsvc.Service
+
+// ServiceConfig sizes a Service.
+type ServiceConfig = simsvc.Config
+
+// JobSpec fully describes one deterministic simulation job.
+type JobSpec = simsvc.JobSpec
+
+// JobStatus is a job's externally visible state.
+type JobStatus = simsvc.JobStatus
+
+// NewService builds and starts a simulation service.
+func NewService(cfg ServiceConfig) (*Service, error) { return simsvc.New(cfg) }
 
 // SweepPoint is one malloc-cache size evaluated by Sweep.
 type SweepPoint struct {

@@ -114,11 +114,14 @@ func TestRunExperimentErrors(t *testing.T) {
 }
 
 func TestWorkloadRegistryViaFacade(t *testing.T) {
-	if len(mallacc.Workloads()) != 14 {
-		t.Fatalf("%d workloads, want 14", len(mallacc.Workloads()))
+	if len(mallacc.Workloads()) != 15 {
+		t.Fatalf("%d workloads, want 15", len(mallacc.Workloads()))
 	}
 	if _, ok := mallacc.WorkloadByName("xapian.pages"); !ok {
 		t.Fatal("xapian.pages missing")
+	}
+	if _, ok := mallacc.WorkloadByName("server.requests"); !ok {
+		t.Fatal("server.requests missing")
 	}
 }
 
