@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench baseline serve-smoke clean
+.PHONY: all build vet test race bench baseline serve-smoke chaos-smoke clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ baseline:
 # drains cleanly.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Chaos smoke test: seeded fault injection across job execution, cache IO
+# and both sides of the HTTP hop; asserts byte-identical reports, breaker
+# open/recovery, retries, and quarantine healing. CHAOS_SEED overrides
+# the schedule.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -33,21 +33,30 @@ import (
 	"syscall"
 	"time"
 
+	"mallacc/internal/faults"
 	"mallacc/internal/simsvc"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7077", "listen address")
-		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", simsvc.DefaultQueueHighWater, "queue high-water mark; submissions beyond it get 429")
-		cacheN   = flag.Int("cache", simsvc.DefaultCacheEntries, "in-memory result cache entries")
-		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
-		timeout  = flag.Duration("timeout", simsvc.DefaultJobTimeout, "per-job run timeout")
-		drainT   = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget for in-flight jobs")
-		digest   = flag.Bool("digest", false, "run the deterministic cache digest to stdout and exit")
+		addr      = flag.String("addr", "127.0.0.1:7077", "listen address")
+		workers   = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", simsvc.DefaultQueueHighWater, "queue high-water mark; submissions beyond it get 429")
+		cacheN    = flag.Int("cache", simsvc.DefaultCacheEntries, "in-memory result cache entries")
+		cacheDir  = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		timeout   = flag.Duration("timeout", simsvc.DefaultJobTimeout, "per-job run timeout")
+		attempts  = flag.Int("max-attempts", simsvc.DefaultMaxAttempts, "runs per job including the first; transient failures retry up to this")
+		drainT    = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget for in-flight jobs")
+		digest    = flag.Bool("digest", false, "run the deterministic cache digest to stdout and exit")
+		faultSpec = flag.String("faults", "", "fault-injection spec for chaos testing: JSON, @file, or compact form\n(e.g. \"seed=7;simsvc.exec,prob=0.2\"); overrides $"+faults.EnvVar)
 	)
 	flag.Parse()
+
+	faultReg, err := faults.ActivateFromSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *digest {
 		if err := runDigest(*workers, *timeout); err != nil {
@@ -63,10 +72,15 @@ func main() {
 		JobTimeout:     *timeout,
 		CacheEntries:   *cacheN,
 		CacheDir:       *cacheDir,
+		MaxAttempts:    *attempts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if faultReg != nil {
+		faultReg.RegisterMetrics(svc.Registry())
+		fmt.Fprintf(os.Stderr, "mallacc-serve: FAULT INJECTION ACTIVE at %v\n", faultReg.Points())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -22,6 +22,7 @@ import (
 	"strconv"
 
 	"mallacc"
+	"mallacc/internal/faults"
 	"mallacc/internal/harness"
 )
 
@@ -41,6 +42,14 @@ func main() {
 		serve   = flag.String("serve", "", "submit the run to a mallacc-serve daemon at this base URL instead of simulating locally")
 	)
 	flag.Parse()
+
+	// $MALLACC_FAULTS arms fault injection at the remote.http point so the
+	// chaos harness can exercise the client's retry loop; local simulation
+	// paths have no injection points, so plain runs are unaffected.
+	if _, err := faults.ActivateFromSpec(""); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, w := range mallacc.Workloads() {

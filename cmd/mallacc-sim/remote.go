@@ -2,18 +2,81 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"mallacc"
+	"mallacc/internal/faults"
 	"mallacc/internal/harness"
+	"mallacc/internal/retry"
 	"mallacc/internal/simsvc"
 )
+
+// apiClient talks to a mallacc-serve daemon with retries: transport
+// errors and retryable statuses (408/429/5xx) are retried with jittered
+// exponential backoff under a wall-clock budget, honoring the server's
+// Retry-After hints. 4xx errors surface immediately — resending a bad
+// spec cannot fix it.
+type apiClient struct {
+	base   string
+	http   *http.Client
+	policy retry.Policy
+}
+
+func newAPIClient(base string) *apiClient {
+	return &apiClient{
+		base: base,
+		http: &http.Client{Timeout: 30 * time.Second},
+		policy: retry.Policy{
+			MaxAttempts: 6,
+			Backoff:     retry.NewBackoff(100*time.Millisecond, 2*time.Second, 2),
+			Budget:      45 * time.Second,
+		},
+	}
+}
+
+// doStatus performs one logical API call (possibly several attempts) and
+// decodes the job-status document. Each attempt passes the remote.http
+// injection point first, so chaos runs can fault the client side of the
+// hop as well as the server side.
+func (c *apiClient) doStatus(ctx context.Context, method, url string, body []byte) (mallacc.JobStatus, error) {
+	var st mallacc.JobStatus
+	err := c.policy.Do(ctx, func(int) error {
+		if err := faults.Inject(faults.PointRemoteHTTP); err != nil {
+			return err
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return retry.Transient(err)
+		}
+		s, err := decodeStatus(resp)
+		if err != nil {
+			return err
+		}
+		st = s
+		return nil
+	})
+	return st, err
+}
 
 // runRemote submits the run as a job to a mallacc-serve daemon, polls it
 // to completion, and renders the returned report in the requested format.
@@ -35,23 +98,16 @@ func runRemote(base, wname, variant string, entries, calls int, seed uint64, cor
 	if err != nil {
 		return err
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("submit: %w", err)
-	}
-	st, err := decodeStatus(resp)
+	client := newAPIClient(base)
+	ctx := context.Background()
+	st, err := client.doStatus(ctx, http.MethodPost, base+"/v1/jobs", body)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
 
 	for !st.State.Terminal() {
 		time.Sleep(100 * time.Millisecond)
-		resp, err := client.Get(base + "/v1/jobs/" + st.ID)
-		if err != nil {
-			return fmt.Errorf("poll: %w", err)
-		}
-		st, err = decodeStatus(resp)
+		st, err = client.doStatus(ctx, http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
 		if err != nil {
 			return fmt.Errorf("poll: %w", err)
 		}
@@ -76,25 +132,49 @@ func runRemote(base, wname, variant string, entries, calls int, seed uint64, cor
 }
 
 // decodeStatus reads one API response, surfacing the server's error
-// document on non-2xx statuses.
+// document on non-2xx statuses and classifying the failure for the retry
+// loop: retryable statuses come back transient (with the Retry-After
+// hint attached when present), everything else permanent.
 func decodeStatus(resp *http.Response) (mallacc.JobStatus, error) {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return mallacc.JobStatus{}, err
+		return mallacc.JobStatus{}, retry.Transient(err)
 	}
 	if resp.StatusCode >= 300 {
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := resp.Status
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return mallacc.JobStatus{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+			msg = resp.Status + ": " + e.Error
 		}
-		return mallacc.JobStatus{}, fmt.Errorf("%s", resp.Status)
+		serr := errors.New(msg)
+		if !retry.TransientHTTPStatus(resp.StatusCode) {
+			return mallacc.JobStatus{}, retry.Permanent(serr)
+		}
+		if after := parseRetryAfter(resp.Header.Get("Retry-After")); after > 0 {
+			return mallacc.JobStatus{}, &retry.AfterError{Err: serr, After: after}
+		}
+		return mallacc.JobStatus{}, retry.Transient(serr)
 	}
 	var st mallacc.JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
-		return mallacc.JobStatus{}, err
+		// A torn 2xx body is a transfer problem, not a spec problem.
+		return mallacc.JobStatus{}, retry.Transient(err)
 	}
 	return st, nil
+}
+
+// parseRetryAfter parses the delay-seconds form of Retry-After (the only
+// form this API emits); 0 means absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

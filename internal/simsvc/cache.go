@@ -1,13 +1,18 @@
 package simsvc
 
 import (
+	"bytes"
 	"container/list"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"mallacc/internal/faults"
 	"mallacc/internal/telemetry"
 )
 
@@ -16,6 +21,14 @@ import (
 // write-through on-disk tier so results survive daemon restarts. Values
 // are treated as immutable byte slices; callers must not modify what Get
 // returns.
+//
+// Disk entries are self-validating: every file carries a versioned header
+// with a CRC32 and payload length (see encodeEntry). A file that fails
+// validation — truncated by a crash, bit-flipped by bad storage, or
+// written by something else entirely — is quarantined into
+// <dir>/quarantine/ and treated as a miss, so the report is recomputed
+// and rewritten instead of poisoning results. A clean daemon never trusts
+// bytes it cannot prove it wrote.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
@@ -23,7 +36,7 @@ type Cache struct {
 	order   *list.List               // front = most recently used
 	entries map[string]*list.Element // key -> element holding cacheEntry
 
-	hits, misses, diskHits, evictions atomic.Uint64
+	hits, misses, diskHits, evictions, quarantined atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -34,6 +47,9 @@ type cacheEntry struct {
 // DefaultCacheEntries is the in-memory LRU capacity when the config leaves
 // it unset.
 const DefaultCacheEntries = 256
+
+// QuarantineDir is the subdirectory corrupt entries are moved into.
+const QuarantineDir = "quarantine"
 
 // NewCache builds a cache holding up to capacity reports in memory
 // (DefaultCacheEntries when <= 0). A non-empty dir enables the disk tier:
@@ -56,8 +72,72 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 	}, nil
 }
 
+// entryMagic heads every on-disk cache entry. The version is part of the
+// magic: a future format change bumps it and v1 files simply quarantine.
+const entryMagic = "mallacc-cache v1"
+
+// maxEntryBytes bounds how much of a disk file the loader will read; a
+// report is a few hundred KiB, so anything near this size is not ours.
+const maxEntryBytes = 64 << 20
+
+// encodeEntry frames a report for disk: a single header line
+// "mallacc-cache v1 <crc32hex> <len>\n" followed by the payload bytes.
+// The encoding is canonical — decodeEntry re-encodes to identical bytes —
+// which is what lets the fuzzer assert a clean round trip.
+func encodeEntry(val []byte) []byte {
+	header := fmt.Sprintf("%s %08x %d\n", entryMagic, crc32.ChecksumIEEE(val), len(val))
+	out := make([]byte, 0, len(header)+len(val))
+	out = append(out, header...)
+	return append(out, val...)
+}
+
+// decodeEntry validates a framed disk entry and returns its payload. Any
+// deviation — missing or malformed header, wrong magic or version, length
+// mismatch (truncation or trailing garbage), checksum mismatch — is an
+// error; the caller quarantines the file.
+func decodeEntry(b []byte) ([]byte, error) {
+	if len(b) > maxEntryBytes {
+		return nil, fmt.Errorf("entry exceeds %d bytes", maxEntryBytes)
+	}
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	header, payload := string(b[:nl]), b[nl+1:]
+	rest, ok := strings.CutPrefix(header, entryMagic+" ")
+	if !ok {
+		return nil, fmt.Errorf("bad magic")
+	}
+	crcHex, lenDec, ok := strings.Cut(rest, " ")
+	if !ok {
+		return nil, fmt.Errorf("malformed header")
+	}
+	crc, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil || len(crcHex) != 8 {
+		return nil, fmt.Errorf("bad checksum field %q", crcHex)
+	}
+	n, err := strconv.ParseUint(lenDec, 10, 63)
+	if err != nil {
+		return nil, fmt.Errorf("bad length field %q", lenDec)
+	}
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE(payload); uint32(crc) != got {
+		return nil, fmt.Errorf("checksum mismatch: header %08x, payload %08x", crc, got)
+	}
+	// Strictness check: the canonical re-encoding must reproduce the
+	// input exactly (rejects, e.g., leading zeros in the length field).
+	if header != fmt.Sprintf("%s %08x %d", entryMagic, uint32(crc), n) {
+		return nil, fmt.Errorf("non-canonical header %q", header)
+	}
+	return payload, nil
+}
+
 // Get returns the stored report for key. A memory miss falls through to
-// the disk tier (when enabled), promoting the file back into the LRU.
+// the disk tier (when enabled), promoting the file back into the LRU; a
+// disk entry that fails validation is quarantined and reported as a miss
+// so the caller recomputes it.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -69,37 +149,69 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 
-	if c.dir != "" {
+	if c.dir != "" && faults.Inject(faults.PointCacheRead) == nil {
 		// Keys are hex digests produced by this package, so the path join
 		// cannot escape the cache directory.
-		if b, err := os.ReadFile(filepath.Join(c.dir, key+".json")); err == nil {
-			c.diskHits.Add(1)
-			c.hits.Add(1)
-			c.insert(key, b)
-			return b, true
+		path := filepath.Join(c.dir, key+".json")
+		if b, err := os.ReadFile(path); err == nil {
+			payload, derr := decodeEntry(b)
+			if derr != nil {
+				c.quarantine(key, path)
+			} else {
+				c.diskHits.Add(1)
+				c.hits.Add(1)
+				c.insert(key, payload)
+				return payload, true
+			}
 		}
 	}
 	c.misses.Add(1)
 	return nil, false
 }
 
+// quarantine moves a corrupt entry aside (never deletes it — the bytes
+// are evidence) and counts it. If the move itself fails the file is
+// removed so it cannot be re-read forever.
+func (c *Cache) quarantine(key, path string) {
+	c.quarantined.Add(1)
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, key+".json")) == nil {
+			return
+		}
+	}
+	os.Remove(path)
+}
+
 // Put stores a report under key in memory and, when the disk tier is
-// enabled, on disk (written to a temp file and renamed, so readers never
-// see a torn report).
+// enabled, on disk: framed with a checksummed header, written to a temp
+// file, fsynced, and renamed into place — so a crash at any instant
+// leaves either the old entry, no entry, or the complete new entry, and
+// never a short-but-renamed file.
 func (c *Cache) Put(key string, val []byte) {
 	c.insert(key, val)
 	if c.dir == "" {
 		return
 	}
+	if faults.Inject(faults.PointCacheWrite) != nil {
+		return // disk tier is best-effort; memory tier already holds it
+	}
 	path := filepath.Join(c.dir, key+".json")
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
-		return // disk tier is best-effort; memory tier already holds it
+		return
 	}
-	if _, err := tmp.Write(val); err == nil {
-		if err := tmp.Close(); err == nil {
-			os.Rename(tmp.Name(), path)
-			return
+	if _, err := tmp.Write(encodeEntry(val)); err == nil {
+		// fsync before rename: rename is atomic in the namespace, but
+		// without the sync a crash can persist the rename and not the
+		// data, leaving a short-but-renamed entry.
+		if err := tmp.Sync(); err == nil {
+			if err := tmp.Close(); err == nil {
+				os.Rename(tmp.Name(), path)
+				return
+			}
+		} else {
+			tmp.Close()
 		}
 	} else {
 		tmp.Close()
@@ -135,11 +247,15 @@ func (c *Cache) Len() int {
 // Hits returns the cumulative (memory + disk) hit count.
 func (c *Cache) Hits() uint64 { return c.hits.Load() }
 
+// Quarantined returns how many corrupt disk entries were quarantined.
+func (c *Cache) Quarantined() uint64 { return c.quarantined.Load() }
+
 // RegisterMetrics publishes the cache counters under simsvc.cache.*.
 func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("simsvc.cache.hits", c.hits.Load)
 	reg.Counter("simsvc.cache.misses", c.misses.Load)
 	reg.Counter("simsvc.cache.disk.hits", c.diskHits.Load)
 	reg.Counter("simsvc.cache.evictions", c.evictions.Load)
+	reg.Counter("simsvc.cache.quarantined", c.quarantined.Load)
 	reg.Gauge("simsvc.cache.entries", func() float64 { return float64(c.Len()) })
 }

@@ -1,0 +1,171 @@
+package simsvc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheEntryRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		[]byte(`{"report":1}`),
+		{},
+		[]byte("not json at all \x00\xff"),
+	} {
+		enc := encodeEntry(payload)
+		got, err := decodeEntry(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(%q)): %v", payload, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %q -> %q", payload, got)
+		}
+		if !bytes.Equal(encodeEntry(got), enc) {
+			t.Fatalf("re-encoding is not canonical for %q", payload)
+		}
+	}
+}
+
+func TestDecodeEntryRejects(t *testing.T) {
+	valid := encodeEntry([]byte(`{"ok":true}`))
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)-2] ^= 0x01 // payload bit flip
+	badCRC := bytes.Clone(valid)
+	badCRC[len(entryMagic)+2] ^= 0x01 // checksum field corrupted
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no newline", []byte("mallacc-cache v1 00000000 0")},
+		{"alien plain JSON", []byte(`{"plain":"json"}` + "\n")},
+		{"wrong magic", []byte("mallacc-cache v2 00000000 0\n")},
+		{"missing length field", []byte("mallacc-cache v1 00000000\n")},
+		{"short checksum field", []byte("mallacc-cache v1 abc 0\n")},
+		{"non-numeric length", []byte("mallacc-cache v1 00000000 x\n")},
+		{"truncated payload", valid[:len(valid)-3]},
+		{"trailing garbage", append(bytes.Clone(valid), "extra"...)},
+		{"payload bit flip", flipped},
+		{"checksum field bit flip", badCRC},
+		{"non-canonical length", []byte("mallacc-cache v1 00000000 00\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := decodeEntry(tc.data); err == nil {
+				t.Fatalf("decodeEntry accepted %q", tc.data)
+			}
+		})
+	}
+}
+
+// TestCachePutWritesValidEntry: the disk file Put leaves behind decodes
+// to the stored payload.
+func TestCachePutWritesValidEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte(`{"report":"bytes"}`)
+	c.Put("k1", val)
+	b, err := os.ReadFile(filepath.Join(dir, "k1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeEntry(b)
+	if err != nil {
+		t.Fatalf("on-disk entry invalid: %v", err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("on-disk payload %q, want %q", got, val)
+	}
+	// No temp files left behind.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "put-*")); len(tmps) != 0 {
+		t.Fatalf("temp files leaked: %v", tmps)
+	}
+}
+
+// TestCacheQuarantine: corrupt disk entries are misses, moved into the
+// quarantine directory, counted, and healed by the next Put.
+func TestCacheQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte(`{"n":1}`)
+	for i, corrupt := range []func([]byte) []byte{
+		func(b []byte) []byte { b[len(b)-1] ^= 0x20; return b },     // bit flip
+		func(b []byte) []byte { return b[:len(b)/2] },               // truncation
+		func(b []byte) []byte { return []byte(`{"alien":"file"}`) }, // not ours
+	} {
+		key := string(rune('a' + i))
+		c.Put(key, val)
+		path := filepath.Join(dir, key+".json")
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, corrupt(b), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh cache on the same dir (no memory entries) must treat all
+	// three as misses and quarantine them.
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if _, ok := c2.Get(key); ok {
+			t.Fatalf("corrupt entry %q served as a hit", key)
+		}
+		if _, err := os.Stat(filepath.Join(dir, key+".json")); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry %q still in the cache dir (err %v)", key, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, QuarantineDir, key+".json")); err != nil {
+			t.Fatalf("entry %q not quarantined: %v", key, err)
+		}
+	}
+	if got := c2.Quarantined(); got != 3 {
+		t.Fatalf("quarantined = %d, want 3", got)
+	}
+
+	// Healing: a rewrite recreates a valid entry readable by another cache.
+	c2.Put("a", val)
+	c3, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c3.Get("a"); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("healed entry not readable: ok=%v got=%q", ok, got)
+	}
+}
+
+// FuzzCacheEntry: decodeEntry must never panic, and any input it accepts
+// must re-encode to the identical bytes (strict canonical framing).
+func FuzzCacheEntry(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(encodeEntry([]byte(`{"report":1}`)))
+	f.Add(encodeEntry(nil))
+	f.Add([]byte("mallacc-cache v1 00000000 0\n"))
+	f.Add([]byte("mallacc-cache v1 deadbeef 4\nabcd"))
+	f.Add([]byte(`{"plain":"json"}`))
+	trunc := encodeEntry([]byte(`{"longer":"payload body"}`))
+	f.Add(trunc[:len(trunc)-5])
+	flip := bytes.Clone(trunc)
+	flip[len(flip)/2] ^= 0x10
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := decodeEntry(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeEntry(payload), data) {
+			t.Fatalf("accepted non-canonical entry: %q", data)
+		}
+	})
+}

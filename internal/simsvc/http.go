@@ -5,16 +5,24 @@ import (
 	"errors"
 	"io"
 	"net/http"
+
+	"mallacc/internal/faults"
+	"mallacc/internal/retry"
 )
 
 // Handler returns the service's HTTP JSON API:
 //
 //	POST   /v1/jobs      submit a JobSpec; 200 done (cache hit), 202 queued,
-//	                     400 invalid spec, 429 queue full, 503 draining
+//	                     400 invalid spec, 429 queue full, 503 draining or
+//	                     circuit breaker open (Retry-After set)
 //	GET    /v1/jobs/{id} job status, report included once done
-//	DELETE /v1/jobs/{id} cancel; 409 when already finished
-//	GET    /v1/healthz   liveness + occupancy
+//	DELETE /v1/jobs/{id} cancel; 409 error body when already finished
+//	GET    /v1/healthz   liveness + occupancy + breaker state; ok=false
+//	                     (still 200) while the breaker is open
 //	GET    /v1/metrics   telemetry snapshot (compact map form)
+//
+// Every handler passes the simsvc.http injection point first, so the
+// chaos harness can fault whole requests before they reach the service.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -22,12 +30,37 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	return mux
+	return faultsMiddleware(mux)
+}
+
+// faultsMiddleware fails requests at the simsvc.http injection point:
+// an injected fault becomes a 500 (permanent class) or a 503 with
+// Retry-After (transient class, the default) before the mux ever sees
+// the request. Latency-mode rules just delay inside Inject.
+func faultsMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := faults.Inject(faults.PointHTTP); err != nil {
+			status := http.StatusInternalServerError
+			if retry.IsTransient(err) {
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, status, err)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // httpError is the error document every non-2xx response carries.
 type httpError struct {
 	Error string `json:"error"`
+}
+
+// writeError writes the shared error document. Every non-2xx response in
+// this API goes through here, so clients can always decode {"error": ...}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -41,29 +74,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes+1))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "read body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, errors.New("read body: "+err.Error()))
 		return
 	}
 	spec, err := DecodeSpec(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	st, err := s.Submit(spec)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrInvalidSpec):
-		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, err)
 		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrBreakerOpen):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	default:
-		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -76,7 +113,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Job(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		writeError(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -88,20 +125,25 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, st)
 	case errors.Is(err, ErrUnknownJob):
-		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrJobFinished):
-		writeJSON(w, http.StatusConflict, st)
+		// A finished job cannot be canceled: like every other failure this
+		// returns the error document, not the job body a client would have
+		// to sniff for.
+		writeError(w, http.StatusConflict, err)
 	default:
-		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := s.Health()
+	breaker := s.breaker.State()
 	writeJSON(w, http.StatusOK, struct {
-		OK bool `json:"ok"`
+		OK      bool   `json:"ok"`
+		Breaker string `json:"breaker"`
 		Health
-	}{OK: true, Health: h})
+	}{OK: breaker != BreakerOpen, Breaker: breaker.String(), Health: h})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

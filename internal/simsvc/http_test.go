@@ -9,6 +9,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mallacc/internal/faults"
+	"mallacc/internal/retry"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
@@ -153,14 +156,15 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var health struct {
-		OK      bool `json:"ok"`
-		Workers int  `json:"workers"`
+		OK      bool   `json:"ok"`
+		Breaker string `json:"breaker"`
+		Workers int    `json:"workers"`
 	}
 	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if !health.OK || health.Workers != 3 {
+	if !health.OK || health.Workers != 3 || health.Breaker != "healthy" {
 		t.Fatalf("healthz: %+v", health)
 	}
 
@@ -176,6 +180,124 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	}
 	if _, ok := snap["simsvc.queue.depth"]; !ok {
 		t.Fatal("metrics missing simsvc.queue.depth")
+	}
+}
+
+func pollTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		var st JobStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("bad status document: %v (%s)", err, b)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach a terminal state", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHTTPCancelFinishedConflict: DELETE on a completed job is a 409 with
+// a JSON error body, not a silent success.
+func TestHTTPCancelFinishedConflict(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, st := postJob(t, ts, `{"workload":"ubench.tp_small","calls":1000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	pollTerminal(t, ts, st.ID)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Body.Close()
+	if dr.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel finished job: %d, want 409", dr.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(dr.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("conflict body not a JSON error: err=%v body=%+v", err, e)
+	}
+}
+
+// TestHTTPBreakerOpenSheds: every execution fails via injected faults, the
+// breaker trips, and subsequent submissions shed with 503 + Retry-After
+// while /v1/healthz reports the outage.
+func TestHTTPBreakerOpenSheds(t *testing.T) {
+	reg, err := faults.New(faults.Spec{Seed: 1, Rules: []faults.RuleSpec{{Point: faults.PointExec}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Activate(reg)
+	t.Cleanup(faults.Deactivate)
+
+	_, ts := newTestServer(t, Config{
+		Workers:      1,
+		RetryBackoff: retry.NewBackoff(time.Millisecond, 2*time.Millisecond, 1),
+		Breaker:      BreakerConfig{Cooldown: time.Hour},
+	})
+	// Two jobs at the default MaxAttempts (3) produce six consecutive
+	// failures — past the default trip threshold of five.
+	for _, body := range []string{
+		`{"workload":"ubench.tp_small","calls":1000}`,
+		`{"workload":"ubench.tp_small","calls":1000,"seed":2}`,
+	} {
+		resp, st := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+		if got := pollTerminal(t, ts, st.ID); got.State != StateFailed {
+			t.Fatalf("state = %s, want failed under total fault injection", got.State)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"ubench.tp_small","calls":1000,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit with open breaker: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("shed body not a JSON error: err=%v body=%+v", err, e)
+	}
+
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health struct {
+		OK      bool   `json:"ok"`
+		Breaker string `json:"breaker"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.OK || health.Breaker != "open" {
+		t.Fatalf("healthz during outage: %+v", health)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mallacc/internal/retry"
 	"mallacc/internal/telemetry"
 )
 
@@ -19,6 +20,7 @@ type JobState string
 const (
 	StateQueued   JobState = "queued"
 	StateRunning  JobState = "running"
+	StateRetrying JobState = "retrying" // failed transiently; waiting out a backoff before requeue
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
@@ -64,6 +66,18 @@ type SchedulerConfig struct {
 	JobTimeout time.Duration
 	// Runner executes jobs (required).
 	Runner Runner
+	// MaxAttempts bounds how many times one job may run, including the
+	// first try (default 3). Only transiently-failed attempts are
+	// retried; permanent errors, timeouts and cancellations are final.
+	MaxAttempts int
+	// Backoff supplies the jittered wait between attempts (default
+	// 50ms base / 2s max, seed 1).
+	Backoff *retry.Backoff
+	// OnOutcome, when set, observes every attempt's outcome — including
+	// each failed attempt of a retried job. It feeds the service's
+	// circuit breaker. It is called without the scheduler lock held, and
+	// must not call back into the scheduler.
+	OnOutcome func(Outcome)
 }
 
 // DefaultQueueHighWater is the backpressure threshold when unset.
@@ -72,24 +86,28 @@ const DefaultQueueHighWater = 64
 // DefaultJobTimeout bounds a job's run time when unset.
 const DefaultJobTimeout = 10 * time.Minute
 
+// DefaultMaxAttempts is the per-job attempt cap when unset.
+const DefaultMaxAttempts = 3
+
 // maxRetainedJobs caps how many terminal jobs stay queryable; older ones
 // are pruned so a long-lived daemon's job table stays bounded.
 const maxRetainedJobs = 1024
 
 // job is the scheduler-internal record.
 type job struct {
-	id      string
-	key     string
-	spec    JobSpec
-	state   JobState
-	cached  bool
-	errMsg  string
-	result  []byte
-	created time.Time
-	started time.Time
-	ended   time.Time
-	cancel  context.CancelFunc
-	done    chan struct{}
+	id       string
+	key      string
+	spec     JobSpec
+	state    JobState
+	cached   bool
+	errMsg   string
+	result   []byte
+	attempts int // attempts started so far
+	created  time.Time
+	started  time.Time
+	ended    time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
 }
 
 // JobStatus is the API-facing copy of a job's state at one instant.
@@ -99,7 +117,10 @@ type JobStatus struct {
 	State  JobState `json:"state"`
 	Cached bool     `json:"cached"`
 	Error  string   `json:"error,omitempty"`
-	Spec   JobSpec  `json:"spec"`
+	// Attempts counts runs started for this job; >1 means the retry
+	// policy re-executed it after transient failures.
+	Attempts int     `json:"attempts,omitempty"`
+	Spec     JobSpec `json:"spec"`
 	// Report holds the serialized harness.Report once the job is done.
 	Report json.RawMessage `json:"report,omitempty"`
 
@@ -122,11 +143,13 @@ type Scheduler struct {
 	retained []string // terminal job ids in finish order, for pruning
 	nextID   uint64
 	busy     int
+	retrying int // jobs in StateRetrying (waiting out a backoff)
 	draining bool
 	stopped  bool
 	wg       sync.WaitGroup
 
 	submitted, completed, failed, canceled, rejected, panics, timeouts atomic.Uint64
+	retryAttempts, retrySucceeded, retryExhausted                      atomic.Uint64
 	queueWait, runTime                                                 *telemetry.SyncHist
 }
 
@@ -143,6 +166,12 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	if cfg.Runner == nil {
 		panic("simsvc: SchedulerConfig.Runner is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.Backoff == nil {
+		cfg.Backoff = retry.NewBackoff(50*time.Millisecond, 2*time.Second, 1)
 	}
 	s := &Scheduler{
 		cfg:       cfg,
@@ -181,6 +210,7 @@ func (j *job) statusLocked() JobStatus {
 		State:     j.state,
 		Cached:    j.cached,
 		Error:     j.errMsg,
+		Attempts:  j.attempts,
 		Spec:      j.spec,
 		Report:    j.result,
 		CreatedAt: j.created,
@@ -291,6 +321,15 @@ func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 		s.finishLocked(j, StateCanceled, "canceled while queued", nil)
 		st := j.statusLocked()
 		s.mu.Unlock()
+		// The submission was admitted (it may hold a half-open probe slot)
+		// but produced no verdict; release it.
+		s.report(OutcomeAbandoned)
+		return st, nil
+	case StateRetrying:
+		s.finishLocked(j, StateCanceled, "canceled while awaiting retry", nil)
+		st := j.statusLocked()
+		s.mu.Unlock()
+		s.report(OutcomeAbandoned)
 		return st, nil
 	case StateRunning:
 		cancel := j.cancel
@@ -307,8 +346,19 @@ func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 	}
 }
 
+// report forwards one attempt outcome to the breaker hook. Must be
+// called without the scheduler lock held (the hook may take other locks).
+func (s *Scheduler) report(o Outcome) {
+	if s.cfg.OnOutcome != nil {
+		s.cfg.OnOutcome(o)
+	}
+}
+
 // finishLocked moves a job to a terminal state and wakes waiters.
 func (s *Scheduler) finishLocked(j *job, state JobState, errMsg string, result []byte) {
+	if j.state == StateRetrying {
+		s.retrying--
+	}
 	j.state = state
 	j.errMsg = errMsg
 	j.result = result
@@ -351,6 +401,7 @@ func (s *Scheduler) worker() {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		j.state = StateRunning
+		j.attempts++
 		j.started = time.Now()
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 		j.cancel = cancel
@@ -363,20 +414,70 @@ func (s *Scheduler) worker() {
 
 		s.mu.Lock()
 		s.busy--
+		var outcome Outcome
 		switch {
 		case err == nil:
+			if j.attempts > 1 {
+				s.retrySucceeded.Add(1)
+			}
 			s.finishLocked(j, StateDone, "", result)
 			s.runTime.Observe(uint64(j.ended.Sub(j.started).Microseconds()))
+			outcome = OutcomeSuccess
 		case errors.Is(err, context.Canceled):
 			s.finishLocked(j, StateCanceled, "canceled while running", nil)
+			outcome = OutcomeAbandoned
 		case errors.Is(err, context.DeadlineExceeded):
+			// Timeouts are final: the runner is deterministic, so a rerun
+			// would spend another full JobTimeout to the same end.
 			s.timeouts.Add(1)
 			s.finishLocked(j, StateFailed, fmt.Sprintf("timeout after %s", s.cfg.JobTimeout), nil)
+			outcome = OutcomeFailure
+		case retry.IsTransient(err) && j.attempts < s.cfg.MaxAttempts && !s.draining && !s.stopped:
+			j.state = StateRetrying
+			j.errMsg = err.Error()
+			j.cancel = nil
+			s.retrying++
+			s.retryAttempts.Add(1)
+			s.scheduleRetry(j, s.cfg.Backoff.Delay(j.attempts-1))
+			outcome = OutcomeFailure
 		default:
+			if retry.IsTransient(err) {
+				s.retryExhausted.Add(1)
+			}
 			s.finishLocked(j, StateFailed, err.Error(), nil)
+			outcome = OutcomeFailure
 		}
 		s.mu.Unlock()
+		s.report(outcome)
 	}
+}
+
+// scheduleRetry arms the backoff timer that requeues a transiently-failed
+// job. The timer re-checks state under the lock when it fires: a job
+// canceled (or a scheduler drained) while waiting is left alone — whoever
+// changed the state already finished the job.
+func (s *Scheduler) scheduleRetry(j *job, delay time.Duration) {
+	time.AfterFunc(delay, func() {
+		s.mu.Lock()
+		if j.state != StateRetrying {
+			s.mu.Unlock()
+			return
+		}
+		if s.draining || s.stopped {
+			s.finishLocked(j, StateCanceled, "canceled: draining", nil)
+			s.mu.Unlock()
+			s.report(OutcomeAbandoned)
+			return
+		}
+		// Requeue directly: a retry bypasses the high-water check — the
+		// job was already admitted once and rejecting it now would turn a
+		// transient fault into a permanent failure.
+		s.retrying--
+		j.state = StateQueued
+		s.queue = append(s.queue, j)
+		s.cond.Signal()
+		s.mu.Unlock()
+	})
 }
 
 // runIsolated executes the runner in its own goroutine so a panicking job
@@ -417,6 +518,7 @@ type Health struct {
 	Workers    int  `json:"workers"`
 	Busy       int  `json:"busy"`
 	QueueDepth int  `json:"queue_depth"`
+	Retrying   int  `json:"retrying"`
 	Draining   bool `json:"draining"`
 }
 
@@ -428,6 +530,7 @@ func (s *Scheduler) Health() Health {
 		Workers:    s.cfg.Workers,
 		Busy:       s.busy,
 		QueueDepth: len(s.queue),
+		Retrying:   s.retrying,
 		Draining:   s.draining,
 	}
 }
@@ -446,6 +549,13 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		s.finishLocked(j, StateCanceled, "canceled: draining", nil)
 	}
 	s.queue = nil
+	// Jobs waiting out a retry backoff are canceled too; their timers
+	// find a non-retrying state and no-op.
+	for _, j := range s.jobs {
+		if j.state == StateRetrying {
+			s.finishLocked(j, StateCanceled, "canceled: draining", nil)
+		}
+	}
 	s.stopped = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -481,6 +591,9 @@ func (s *Scheduler) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("simsvc.jobs.rejected", s.rejected.Load)
 	reg.Counter("simsvc.jobs.panics", s.panics.Load)
 	reg.Counter("simsvc.jobs.timeouts", s.timeouts.Load)
+	reg.Counter("simsvc.retries.attempts", s.retryAttempts.Load)
+	reg.Counter("simsvc.retries.succeeded", s.retrySucceeded.Load)
+	reg.Counter("simsvc.retries.exhausted", s.retryExhausted.Load)
 	reg.Gauge("simsvc.workers", func() float64 { return float64(s.cfg.Workers) })
 	reg.Gauge("simsvc.workers.busy", func() float64 {
 		s.mu.Lock()

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mallacc/internal/retry"
 )
 
 // watchdog returns a context that fails the test if the scheduler wedges.
@@ -355,5 +357,235 @@ func TestUnknownJob(t *testing.T) {
 	}
 	if _, err := s.Cancel("nope"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Cancel: %v", err)
+	}
+}
+
+// flakyRunner fails its first failures attempts with a transient error,
+// then succeeds.
+func flakyRunner(failures int, result []byte) (Runner, *atomic.Int32) {
+	var calls atomic.Int32
+	return func(ctx context.Context, spec JobSpec) ([]byte, error) {
+		if int(calls.Add(1)) <= failures {
+			return nil, retry.Transient(errors.New("flaky: try again"))
+		}
+		return result, nil
+	}, &calls
+}
+
+// outcomeCollector records OnOutcome calls in order.
+type outcomeCollector struct {
+	mu  sync.Mutex
+	got []Outcome
+}
+
+func (c *outcomeCollector) record(o Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, o)
+}
+
+func (c *outcomeCollector) seq() []Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Outcome(nil), c.got...)
+}
+
+func fastBackoff() *retry.Backoff {
+	return retry.NewBackoff(time.Millisecond, 2*time.Millisecond, 1)
+}
+
+// TestRetryTransientThenSuccess: two transient failures, then success —
+// the job completes with three attempts and the breaker hook sees every
+// attempt, not just the final verdict.
+func TestRetryTransientThenSuccess(t *testing.T) {
+	run, calls := flakyRunner(2, []byte("ok"))
+	col := &outcomeCollector{}
+	s := NewScheduler(SchedulerConfig{
+		Workers: 1, Runner: run, MaxAttempts: 3, Backoff: fastBackoff(),
+		OnOutcome: col.record,
+	})
+	defer s.Drain(watchdog(t))
+
+	st, err := s.Enqueue(testSpec(t, 0), "k0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Await(watchdog(t), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || string(final.Report) != "ok" {
+		t.Fatalf("final: %+v", final)
+	}
+	if final.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", final.Attempts)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("runner ran %d times, want 3", got)
+	}
+	if got := s.retryAttempts.Load(); got != 2 {
+		t.Fatalf("retryAttempts = %d, want 2", got)
+	}
+	if got := s.retrySucceeded.Load(); got != 1 {
+		t.Fatalf("retrySucceeded = %d, want 1", got)
+	}
+	want := []Outcome{OutcomeFailure, OutcomeFailure, OutcomeSuccess}
+	if got := col.seq(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("outcomes = %v, want %v", got, want)
+	}
+}
+
+// TestRetryPermanentIsFinal: a permanent error fails on the first attempt.
+func TestRetryPermanentIsFinal(t *testing.T) {
+	var calls atomic.Int32
+	s := NewScheduler(SchedulerConfig{
+		Workers: 1, MaxAttempts: 3, Backoff: fastBackoff(),
+		Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) {
+			calls.Add(1)
+			return nil, errors.New("unknown experiment: deterministic, retrying is futile")
+		},
+	})
+	defer s.Drain(watchdog(t))
+
+	st, _ := s.Enqueue(testSpec(t, 0), "k0")
+	final, err := s.Await(watchdog(t), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Attempts != 1 {
+		t.Fatalf("final: state %s attempts %d, want failed/1", final.State, final.Attempts)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("runner ran %d times, want 1", got)
+	}
+	if got := s.retryAttempts.Load(); got != 0 {
+		t.Fatalf("retryAttempts = %d, want 0", got)
+	}
+}
+
+// TestRetryExhausted: a persistently transient error fails after exactly
+// MaxAttempts runs and counts as exhausted.
+func TestRetryExhausted(t *testing.T) {
+	run, calls := flakyRunner(1<<30, nil) // never succeeds
+	s := NewScheduler(SchedulerConfig{
+		Workers: 1, Runner: run, MaxAttempts: 3, Backoff: fastBackoff(),
+	})
+	defer s.Drain(watchdog(t))
+
+	st, _ := s.Enqueue(testSpec(t, 0), "k0")
+	final, err := s.Await(watchdog(t), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Attempts != 3 {
+		t.Fatalf("final: state %s attempts %d, want failed/3", final.State, final.Attempts)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("runner ran %d times, want 3", got)
+	}
+	if got := s.retryExhausted.Load(); got != 1 {
+		t.Fatalf("retryExhausted = %d, want 1", got)
+	}
+}
+
+// TestCancelWhileRetrying: a job waiting out a long backoff can be
+// canceled immediately; its timer must not resurrect it.
+func TestCancelWhileRetrying(t *testing.T) {
+	run, _ := flakyRunner(1<<30, nil)
+	col := &outcomeCollector{}
+	s := NewScheduler(SchedulerConfig{
+		Workers: 1, Runner: run, MaxAttempts: 3,
+		// A huge backoff window keeps the job parked in retrying.
+		Backoff:   retry.NewBackoff(time.Hour, time.Hour, 1),
+		OnOutcome: col.record,
+	})
+	defer s.Drain(watchdog(t))
+
+	st, _ := s.Enqueue(testSpec(t, 0), "k0")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := s.Job(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateRetrying {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never entered retrying (state %s)", cur.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h := s.Health(); h.Retrying != 1 {
+		t.Fatalf("health.Retrying = %d, want 1", h.Retrying)
+	}
+
+	canceled, err := s.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != StateCanceled {
+		t.Fatalf("cancel of retrying job: state %s, want canceled", canceled.State)
+	}
+	if h := s.Health(); h.Retrying != 0 {
+		t.Fatalf("health.Retrying = %d after cancel, want 0", h.Retrying)
+	}
+	// The attempt failure and the abandonment both reached the hook.
+	seq := col.seq()
+	if len(seq) != 2 || seq[0] != OutcomeFailure || seq[1] != OutcomeAbandoned {
+		t.Fatalf("outcomes = %v, want [failure abandoned]", seq)
+	}
+}
+
+// TestDrainCancelsRetryingJobs: draining does not wait out backoff timers.
+func TestDrainCancelsRetryingJobs(t *testing.T) {
+	run, _ := flakyRunner(1<<30, nil)
+	s := NewScheduler(SchedulerConfig{
+		Workers: 1, Runner: run, MaxAttempts: 3,
+		Backoff: retry.NewBackoff(time.Hour, time.Hour, 1),
+	})
+	st, _ := s.Enqueue(testSpec(t, 0), "k0")
+	for {
+		cur, _ := s.Job(st.ID)
+		if cur.State == StateRetrying {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Drain(watchdog(t)); err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("retrying job after drain: %s, want canceled", final.State)
+	}
+}
+
+// TestNoRetryOnContextCancel: a canceled job is abandoned, never retried.
+func TestNoRetryOnContextCancel(t *testing.T) {
+	b := newBlockingRunner()
+	col := &outcomeCollector{}
+	s := NewScheduler(SchedulerConfig{
+		Workers: 1, Runner: b.run, MaxAttempts: 3, Backoff: fastBackoff(),
+		OnOutcome: col.record,
+	})
+	defer s.Drain(watchdog(t))
+
+	st, _ := s.Enqueue(testSpec(t, 0), "k0")
+	<-b.started
+	s.Cancel(st.ID)
+	final, err := s.Await(watchdog(t), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled || final.Attempts != 1 {
+		t.Fatalf("final: state %s attempts %d, want canceled/1", final.State, final.Attempts)
+	}
+	seq := col.seq()
+	if len(seq) != 1 || seq[0] != OutcomeAbandoned {
+		t.Fatalf("outcomes = %v, want [abandoned]", seq)
 	}
 }

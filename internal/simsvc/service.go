@@ -3,13 +3,16 @@ package simsvc
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mallacc/internal/faults"
 	"mallacc/internal/harness"
 	"mallacc/internal/multicore"
+	"mallacc/internal/retry"
 	"mallacc/internal/telemetry"
 	"mallacc/internal/workload"
 )
@@ -26,10 +29,22 @@ type Config struct {
 	CacheEntries int
 	// CacheDir, when set, persists reports to CacheDir/<key>.json.
 	CacheDir string
+	// MaxAttempts bounds runs per job, first try included (default 3).
+	MaxAttempts int
+	// RetryBackoff supplies the jittered wait between attempts; the
+	// scheduler default applies when nil.
+	RetryBackoff *retry.Backoff
+	// Breaker sizes the circuit breaker over job execution; zero fields
+	// take defaults.
+	Breaker BreakerConfig
 	// Registry receives the simsvc.* metrics; a fresh one is created when
 	// nil.
 	Registry *telemetry.Registry
 }
+
+// ErrBreakerOpen rejects uncached submissions while the circuit breaker
+// sheds load (HTTP 503).
+var ErrBreakerOpen = errors.New("service overloaded: circuit breaker open")
 
 // maxRunResults bounds each run-level result map. Past the cap new results
 // are still returned but no longer memoized; a sweep grid is a few hundred
@@ -40,9 +55,10 @@ const maxRunResults = 4096
 // run-level result caches together and exposes the submit/query surface
 // the HTTP handler and the batch CLIs share.
 type Service struct {
-	reg   *telemetry.Registry
-	cache *Cache
-	sched *Scheduler
+	reg     *telemetry.Registry
+	cache   *Cache
+	sched   *Scheduler
+	breaker *Breaker
 
 	// Run-level memoization: experiments with overlapping grids (fig13 and
 	// fig14 share every run; fig17's sweep revisits the headline points)
@@ -68,6 +84,7 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		reg:            reg,
 		cache:          cache,
+		breaker:        NewBreaker(cfg.Breaker),
 		runResults:     map[string]*harness.Result{},
 		clusterResults: map[string]*multicore.Result{},
 	}
@@ -76,9 +93,13 @@ func New(cfg Config) (*Service, error) {
 		QueueHighWater: cfg.QueueHighWater,
 		JobTimeout:     cfg.JobTimeout,
 		Runner:         s.execute,
+		MaxAttempts:    cfg.MaxAttempts,
+		Backoff:        cfg.RetryBackoff,
+		OnOutcome:      s.breaker.Record,
 	})
 	s.cache.RegisterMetrics(reg)
 	s.sched.RegisterMetrics(reg)
+	s.breaker.RegisterMetrics(reg)
 	reg.Counter("simsvc.runcache.hits", s.runHits.Load)
 	reg.Counter("simsvc.runcache.misses", s.runMisses.Load)
 	return s, nil
@@ -91,8 +112,9 @@ func (s *Service) Registry() *telemetry.Registry { return s.reg }
 func (s *Service) Cache() *Cache { return s.cache }
 
 // Submit canonicalizes and admits a job. A cache hit returns a job already
-// in state done with the stored report and Cached set; a miss enqueues the
-// job for the worker pool.
+// in state done with the stored report and Cached set; a miss consults the
+// circuit breaker (cached results are always served — shedding protects
+// the workers, not the cache) and then enqueues the job for the pool.
 func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	c, err := spec.Canonicalize()
 	if err != nil {
@@ -102,8 +124,19 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	if b, ok := s.cache.Get(key); ok {
 		return s.sched.Completed(c, key, b)
 	}
-	return s.sched.Enqueue(c, key)
+	if !s.breaker.Allow() {
+		return JobStatus{}, ErrBreakerOpen
+	}
+	st, err := s.sched.Enqueue(c, key)
+	if err != nil {
+		// The admission never reached a worker; release any probe slot.
+		s.breaker.Record(OutcomeAbandoned)
+	}
+	return st, err
 }
+
+// Breaker exposes the service's circuit breaker (health checks and tests).
+func (s *Service) Breaker() *Breaker { return s.breaker }
 
 // Job returns a job's current status.
 func (s *Service) Job(id string) (JobStatus, error) { return s.sched.Job(id) }
@@ -125,6 +158,9 @@ func (s *Service) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
 // execute is the scheduler's Runner: it simulates the spec, serializes the
 // report, and stores it under the job's content address.
 func (s *Service) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
+	if err := faults.Inject(faults.PointExec); err != nil {
+		return nil, err
+	}
 	rep, err := s.buildReport(ctx, spec)
 	if err != nil {
 		return nil, err

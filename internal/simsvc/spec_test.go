@@ -1,6 +1,7 @@
 package simsvc
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -157,7 +158,23 @@ func FuzzJobSpec(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	// The same corpus drives the disk-cache entry loader, seeded with a
+	// valid framed entry plus truncated and bit-flipped variants — the
+	// exact damage a crashed write or bad storage inflicts.
+	framed := encodeEntry([]byte(`{"workload":"ubench.gauss"}`))
+	f.Add(framed)
+	f.Add(framed[:len(framed)-6])
+	flipped := bytes.Clone(framed)
+	flipped[len(flipped)/2] ^= 0x08
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The loader must never panic, and anything it accepts must be
+		// canonically framed (quarantine decisions depend on strictness).
+		if payload, err := decodeEntry(data); err == nil {
+			if !bytes.Equal(encodeEntry(payload), data) {
+				t.Fatalf("cache loader accepted non-canonical entry: %q", data)
+			}
+		}
 		s, err := DecodeSpec(data)
 		if err != nil {
 			return
