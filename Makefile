@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench baseline serve-smoke chaos-smoke clean
+.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke clean
 
 all: build vet test
 
@@ -18,8 +18,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full performance baseline: every microbenchmark suite at -count=5 with a
+# benchstat summary (when installed), one timed end-to-end fig13 sweep, and
+# a refreshed BENCH_baseline.json — gated on the core scheduler bench
+# staying >=2x over the pre-rewrite reference with 0 allocs/op.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	./scripts/bench.sh
+
+# One iteration of every benchmark; proves they compile and run (CI).
+bench-smoke:
+	./scripts/bench.sh --smoke
 
 # Regenerate the pinned reference metrics (byte-reproducible at seed 1).
 baseline:

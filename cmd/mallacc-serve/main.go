@@ -9,6 +9,7 @@
 //	mallacc-serve -addr :8080 -workers 4
 //	mallacc-serve -cache-dir results/cache # persist reports across restarts
 //	mallacc-serve -digest                  # run the pinned cache digest and exit
+//	mallacc-serve -pprof                   # also expose /debug/pprof/ (off by default)
 //
 // API:
 //
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +50,7 @@ func main() {
 		attempts  = flag.Int("max-attempts", simsvc.DefaultMaxAttempts, "runs per job including the first; transient failures retry up to this")
 		drainT    = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget for in-flight jobs")
 		digest    = flag.Bool("digest", false, "run the deterministic cache digest to stdout and exit")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; leave off in shared deployments)")
 		faultSpec = flag.String("faults", "", "fault-injection spec for chaos testing: JSON, @file, or compact form\n(e.g. \"seed=7;simsvc.exec,prob=0.2\"); overrides $"+faults.EnvVar)
 	)
 	flag.Parse()
@@ -90,7 +93,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mallacc-serve listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// The service handler keeps the whole API under /v1/, so mounting
+		// the profiler beside it cannot shadow a service route.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "mallacc-serve: pprof enabled at http://%s/debug/pprof/\n", *addr)
+	}
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 

@@ -1,0 +1,45 @@
+package cachesim_test
+
+import (
+	"testing"
+
+	"mallacc/internal/cachesim"
+)
+
+// BenchmarkHierarchyLoadL1Hit measures the all-hits lookup path (the common
+// case for warm fast-path traces).
+func BenchmarkHierarchyLoadL1Hit(b *testing.B) {
+	h := cachesim.NewDefaultHierarchy()
+	for i := 0; i < 64; i++ {
+		h.Load(uint64(i) * 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i&63) * 64)
+	}
+}
+
+// BenchmarkHierarchyLoadStream measures a streaming miss pattern that fills
+// through all three levels and the TLB.
+func BenchmarkHierarchyLoadStream(b *testing.B) {
+	h := cachesim.NewDefaultHierarchy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i) * 64)
+	}
+}
+
+// BenchmarkCacheLookupHit measures a single level's associative probe.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := cachesim.New(cachesim.Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LineShift: 6, Latency: 4})
+	for i := 0; i < 8; i++ {
+		c.Insert(uint64(i) * 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i&7) * 64)
+	}
+}

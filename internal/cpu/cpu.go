@@ -155,10 +155,11 @@ type Core struct {
 	cycle uint64
 	Stats Stats
 
-	// entryReady holds, per malloc-cache entry, the cycle at which an
+	// entryReady holds, per malloc-cache entry id, the cycle at which an
 	// outstanding mcnxtprefetch returns; pops/pushes to a blocked entry
-	// stall until then (Sec. 4.1).
-	entryReady map[int16]uint64
+	// stall until then (Sec. 4.1). Dense: indexed by entry, zero = not
+	// blocked, grown on demand past the initial 64 entries.
+	entryReady []uint64
 
 	// mshr holds the fill-completion cycle of each line-fill buffer; a
 	// miss must find a slot whose previous fill has completed.
@@ -177,9 +178,15 @@ type Core struct {
 
 	// Per-call scratch, reused across calls.
 	fetchC, doneC, commitC []uint64
-	portUse                [numPortClasses]map[uint64]int
-	fetchUse               map[uint64]int
-	commitUse              map[uint64]int
+	// Bandwidth reservations: fixed-window rings indexed by cycle %
+	// window (see ring.go), validated by resGen so no per-call clearing
+	// is needed. These replace the old cycle-keyed maps, which both
+	// allocated on growth and retained every cycle ever reserved.
+	portRes             [numPortClasses]resRing
+	fetchRes, commitRes resRing
+	resGen              uint32
+	// missEnd is the analytic model's fill-buffer scratch.
+	missEnd []uint64
 }
 
 // New builds a core over the given cache hierarchy.
@@ -191,13 +198,15 @@ func New(cfg Config, mem *cachesim.Hierarchy) *Core {
 		cfg:        cfg,
 		mem:        mem,
 		bp:         NewBranchPredictor(),
-		entryReady: make(map[int16]uint64),
-		fetchUse:   make(map[uint64]int),
-		commitUse:  make(map[uint64]int),
+		entryReady: make([]uint64, 64),
 		mshr:       make([]uint64, cfg.MSHRs),
+		fetchRes:   newResRing(),
+		commitRes:  newResRing(),
 	}
-	for i := range c.portUse {
-		c.portUse[i] = make(map[uint64]int)
+	for i := range c.portRes {
+		if portClass(i) != portNone {
+			c.portRes[i] = newResRing()
+		}
 	}
 	return c
 }
@@ -227,16 +236,29 @@ func (c *Core) RegisterMetrics(reg *telemetry.Registry) {
 
 // finishCallAttribution folds the per-call step scratch into Stats, hands
 // it to the observer, and clears it for the next call.
+//
+// This is the telemetry batching boundary for the hot loop: the scheduler
+// increments only the local stepCyc/stepUops arrays per micro-op, and the
+// step.<name>.* metrics see them exactly once per call, here. The
+// telemetry.Registry itself is never touched — its counters are closures
+// read at snapshot time. Calls in which no micro-op executed (fully
+// dropped traces) skip the observer; ObserveCall would be a no-op for
+// them, since an executed micro-op always accrues at least one cycle.
 func (c *Core) finishCallAttribution() {
+	var any bool
 	for s := range c.stepCyc {
-		c.Stats.StepCycles[s] += c.stepCyc[s]
-		c.Stats.StepUops[s] += c.stepUops[s]
+		cy, up := c.stepCyc[s], c.stepUops[s]
+		any = any || cy|up != 0
+		c.Stats.StepCycles[s] += cy
+		c.Stats.StepUops[s] += up
 	}
-	if c.stepObserver != nil {
+	if any && c.stepObserver != nil {
 		c.stepObserver(c.stepCyc[:], c.stepUops[:])
 	}
-	clear(c.stepCyc[:])
-	clear(c.stepUops[:])
+	if any {
+		clear(c.stepCyc[:])
+		clear(c.stepUops[:])
+	}
 }
 
 // Config returns the active configuration.
@@ -263,6 +285,26 @@ func (c *Core) AdvanceApp(cycles uint64, touches []uint64) {
 // data caches.
 func (c *Core) ContextSwitch() {
 	clear(c.entryReady)
+}
+
+// entryReadyAt returns the blocking deadline of a malloc-cache entry
+// (zero when the entry has no outstanding prefetch).
+func (c *Core) entryReadyAt(entry int16) uint64 {
+	if int(entry) < len(c.entryReady) {
+		return c.entryReady[entry]
+	}
+	return 0
+}
+
+// setEntryReady records an outstanding prefetch's return cycle, growing
+// the dense table for malloc caches larger than its current size.
+func (c *Core) setEntryReady(entry int16, cy uint64) {
+	if int(entry) >= len(c.entryReady) {
+		grown := make([]uint64, int(entry)+1)
+		copy(grown, c.entryReady)
+		c.entryReady = grown
+	}
+	c.entryReady[entry] = cy
 }
 
 func (c *Core) portCount(p portClass) int {
@@ -296,17 +338,6 @@ func (c *Core) mshrFind(want uint64) (uint64, int) {
 		}
 	}
 	return bestEnd, bestIdx
-}
-
-// reserve finds the first cycle >= want with a free slot in usage (limit
-// slots per cycle) and records the reservation.
-func reserve(usage map[uint64]int, want uint64, limit int) uint64 {
-	cy := want
-	for usage[cy] >= limit {
-		cy++
-	}
-	usage[cy]++
-	return cy
 }
 
 func (c *Core) fixedLatency(op *uop.UOp) uint64 {
@@ -354,8 +385,12 @@ func (c *Core) runAnalytic(ops []uop.UOp) uint64 {
 	var end uint64
 	slot, loadSlot, storeSlot := 0, 0, 0
 	// Fill-buffer bound: an L1 miss needs a free buffer; take the one
-	// that frees earliest.
-	missEnd := make([]uint64, c.cfg.MSHRs)
+	// that frees earliest. The scratch is reused across calls.
+	if len(c.missEnd) != c.cfg.MSHRs {
+		c.missEnd = make([]uint64, c.cfg.MSHRs)
+	}
+	missEnd := c.missEnd
+	clear(missEnd)
 	for i := range ops {
 		op := &ops[i]
 		ready := start
@@ -456,11 +491,10 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 	fetchC := c.fetchC[:n]
 	doneC := c.doneC[:n]
 	commitC := c.commitC[:n]
-	for i := range c.portUse {
-		clear(c.portUse[i])
-	}
-	clear(c.fetchUse)
-	clear(c.commitUse)
+	// A new generation invalidates every ring slot of earlier calls in
+	// O(1) — the replacement for clearing eight maps per call.
+	c.resGen++
+	gen := c.resGen
 
 	start := c.cycle
 	redirect := start // earliest cycle fetch may proceed (branch redirects)
@@ -499,7 +533,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 				fWant = rc
 			}
 		}
-		fCy := reserve(c.fetchUse, fWant, c.cfg.FetchWidth)
+		fCy := c.fetchRes.reserve(fWant, c.cfg.FetchWidth, gen, start)
 		fetchC[i] = fCy
 
 		// Ready to issue one cycle after dispatch, once operands ready.
@@ -509,7 +543,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 		}
 		// Malloc-cache entry blocking for ordered list ops.
 		if !c.cfg.NoPrefetchBlocking && op.MCEntry >= 0 && (op.Kind == uop.McHdPop || op.Kind == uop.McHdPush) {
-			if r := c.entryReady[op.MCEntry]; r > ready {
+			if r := c.entryReadyAt(op.MCEntry); r > ready {
 				ready = r
 			}
 		}
@@ -539,7 +573,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 		pc := classOf(op.Kind)
 		issue := ready
 		if pc != portNone {
-			issue = reserve(c.portUse[pc], ready, c.portCount(pc))
+			issue = c.portRes[pc].reserve(ready, c.portCount(pc), gen, start)
 		}
 		if isMiss {
 			c.mshr[mshrSlot] = issue + memLat
@@ -563,7 +597,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 				if memLat > 0 {
 					ret = issue + memLat
 				}
-				c.entryReady[op.MCEntry] = ret + c.cfg.McPrefTransferLat
+				c.setEntryReady(op.MCEntry, ret+c.cfg.McPrefTransferLat)
 			}
 		case uop.Branch:
 			done = issue + c.fixedLatency(op)
@@ -590,7 +624,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 		if lastCommit > cWant {
 			cWant = lastCommit
 		}
-		cCy := reserve(c.commitUse, cWant, c.cfg.CommitWidth)
+		cCy := c.commitRes.reserve(cWant, c.cfg.CommitWidth, gen, start)
 		commitC[i] = cCy
 		lastCommit = cCy
 		c.Stats.Uops++
@@ -608,33 +642,44 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 	return dur
 }
 
-// BranchPredictor is a table of 2-bit saturating counters indexed by branch
-// site, standing in for a PC-indexed bimodal predictor. The paper notes the
-// fast path's branches are "easy to predict"; a bimodal table captures
-// that after warmup.
+// bpTableSize is the direct-mapped predictor capacity. Branch sites are
+// small static identifiers (every allocator's sites fit in a few hundred),
+// so no two live sites alias at this size and the table behaves exactly
+// like the unbounded per-site map it replaced — while indexing in two
+// instructions instead of a hash probe.
+const bpTableSize = 4096
+
+// BranchPredictor is a fixed-size direct-mapped table of 2-bit saturating
+// counters indexed by branch site, standing in for a PC-indexed bimodal
+// predictor. The paper notes the fast path's branches are "easy to
+// predict"; a bimodal table captures that after warmup. Like real bimodal
+// hardware, sites 4096 apart would share a counter; the simulator's site
+// id spaces stay far below that.
 type BranchPredictor struct {
-	table map[uint32]uint8
+	table [bpTableSize]uint8
 }
 
-// NewBranchPredictor returns an empty predictor (counters start weakly
+// NewBranchPredictor returns a fresh predictor (counters start weakly
 // not-taken).
 func NewBranchPredictor() *BranchPredictor {
-	return &BranchPredictor{table: make(map[uint32]uint8)}
+	b := &BranchPredictor{}
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	return b
 }
 
 // PredictAndUpdate returns the prediction for site and trains the counter
 // with the actual outcome.
 func (b *BranchPredictor) PredictAndUpdate(site uint32, taken bool) bool {
-	ctr, ok := b.table[site]
-	if !ok {
-		ctr = 1
-	}
+	i := site & (bpTableSize - 1)
+	ctr := b.table[i]
 	pred := ctr >= 2
 	if taken && ctr < 3 {
 		ctr++
 	} else if !taken && ctr > 0 {
 		ctr--
 	}
-	b.table[site] = ctr
+	b.table[i] = ctr
 	return pred
 }

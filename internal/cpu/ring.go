@@ -1,0 +1,103 @@
+package cpu
+
+// resRing is the zero-allocation replacement for the cycle-keyed
+// reservation maps (map[uint64]int) the scheduler used for fetch, commit
+// and per-port bandwidth accounting. It is a power-of-two ring of
+// per-cycle counters indexed by cycle % window.
+//
+// Window invariant: every reservation of one call lies in [start, end]
+// where start is the call's first cycle and end its last commit, so the
+// ring only has to span the call's duration. Slots are validated lazily by
+// (generation, cycle) tags instead of being cleared between calls: the
+// core bumps its generation at every RunTrace, so a slot left over from an
+// earlier call can never be read as live — exactly the semantics of
+// clearing the old maps, without the per-call O(window) clear.
+//
+// If a call outlives the window (a long lock spin or a deep miss chain),
+// the ring doubles and re-places the call's live reservations at their new
+// slots; cycle numbers are stored absolutely, so growth is observationally
+// transparent and results stay byte-identical to the map implementation.
+//
+// Generation wrap (uint32) is harmless: a stale slot is read as live only
+// if both its generation and its absolute cycle match, and every nonempty
+// call advances the clock, so by the time a generation value recurs the
+// clock has long since passed the stale slot's cycle.
+type resRing struct {
+	cyc []uint64 // absolute cycle each slot holds
+	gen []uint32 // call generation that wrote the slot
+	cnt []int32  // reservations at that cycle
+}
+
+// ringInitWindow is the starting window. Fast-path calls span tens to a
+// few hundred cycles; slow-path calls with lock spins or span carving can
+// exceed it, triggering growth that then persists for the core's lifetime.
+const ringInitWindow = 1024
+
+func newResRing() resRing {
+	return resRing{
+		cyc: make([]uint64, ringInitWindow),
+		gen: make([]uint32, ringInitWindow),
+		cnt: make([]int32, ringInitWindow),
+	}
+}
+
+// window returns the current ring capacity in cycles (for growth tests).
+func (r *resRing) window() int { return len(r.cyc) }
+
+// count returns the reservations recorded at cycle cy by the call with
+// generation g; slots written by other calls or cycles read as zero.
+func (r *resRing) count(cy uint64, g uint32) int32 {
+	i := cy & uint64(len(r.cyc)-1)
+	if r.gen[i] == g && r.cyc[i] == cy {
+		return r.cnt[i]
+	}
+	return 0
+}
+
+// add records one reservation at cy for the call with generation g that
+// started at cycle start, growing the ring when cy falls outside the
+// window.
+func (r *resRing) add(cy uint64, g uint32, start uint64) {
+	if cy-start >= uint64(len(r.cyc)) {
+		r.grow(cy, g, start)
+	}
+	i := cy & uint64(len(r.cyc)-1)
+	if r.gen[i] != g || r.cyc[i] != cy {
+		r.gen[i], r.cyc[i], r.cnt[i] = g, cy, 0
+	}
+	r.cnt[i]++
+}
+
+// grow doubles the window until cy fits and re-places the current call's
+// live reservations. Live cycles all lie within the old window of start,
+// so they cannot collide in the larger ring.
+func (r *resRing) grow(cy uint64, g uint32, start uint64) {
+	n := uint64(len(r.cyc))
+	for cy-start >= n {
+		n *= 2
+	}
+	nr := resRing{
+		cyc: make([]uint64, n),
+		gen: make([]uint32, n),
+		cnt: make([]int32, n),
+	}
+	for i := range r.cyc {
+		if r.gen[i] == g && r.cnt[i] > 0 {
+			j := r.cyc[i] & (n - 1)
+			nr.cyc[j], nr.gen[j], nr.cnt[j] = r.cyc[i], g, r.cnt[i]
+		}
+	}
+	*r = nr
+}
+
+// reserve finds the first cycle >= want with a free slot (limit
+// reservations per cycle) and records the reservation there — the ring
+// equivalent of the old map walk.
+func (r *resRing) reserve(want uint64, limit int, g uint32, start uint64) uint64 {
+	cy := want
+	for r.count(cy, g) >= int32(limit) {
+		cy++
+	}
+	r.add(cy, g, start)
+	return cy
+}

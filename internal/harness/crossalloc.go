@@ -115,6 +115,7 @@ func runHoard(w workload.Workload, mode tcmalloc.Mode, calls int, seed uint64) (
 	cfg.Seed = seed
 	cfg.MallocCache = core.Config{Entries: 32}
 	h := hoard.New(cfg)
+	defer h.Em.Recycle()
 	d := &hoardDriver{
 		heap: h,
 		th:   h.NewThread(),
@@ -137,6 +138,7 @@ func runJemalloc(w workload.Workload, mode tcmalloc.Mode, calls int, seed uint64
 	cfg.Seed = seed
 	cfg.MallocCache = core.Config{Entries: 32} // raw-size keys: generic mode
 	h := jemalloc.New(cfg)
+	defer h.Em.Recycle()
 	d := &jeDriver{
 		heap: h,
 		tc:   h.NewThread(),

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mallacc/internal/workload"
+)
+
+// TestFig13Deterministic runs the Figure 13 experiment at seed 1 twice and
+// demands byte-identical reports, telemetry snapshots included. This is the
+// regression guard for the simulator's determinism contract: the pinned
+// metrics digests under results/metrics/ are only trustworthy if repeated
+// runs of the same seed cannot drift. The `make race` target reruns this
+// under the race detector, which extends the guarantee to "identical even
+// when the runtime schedules differently".
+func TestFig13Deterministic(t *testing.T) {
+	render := func() []byte {
+		rep := Figure13(ExpOptions{Calls: 1500, Seeds: 1, Seed: 1, Metrics: true})
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		return b
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("fig13 reports differ between identical seed-1 runs:\nfirst  %d bytes\nsecond %d bytes", len(first), len(second))
+	}
+	// The report must actually carry telemetry, or the comparison above
+	// proves less than it claims.
+	var decoded struct {
+		Runs []struct {
+			Name    string          `json:"name"`
+			Metrics json.RawMessage `json:"metrics"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if len(decoded.Runs) == 0 {
+		t.Fatalf("report carries no per-run telemetry; determinism check is vacuous")
+	}
+}
+
+// TestRunDeterministicSnapshots is the narrower, faster variant: a single
+// workload run repeated at seed 1 must produce byte-identical telemetry
+// snapshots across all three variants.
+func TestRunDeterministicSnapshots(t *testing.T) {
+	w, _ := workload.ByName("ubench.tp_small")
+	for _, v := range []Variant{VariantBaseline, VariantMallacc, VariantLimit} {
+		snap := func() []byte {
+			r := Run(Options{Workload: w, Variant: v, Calls: 6000, Seed: 1})
+			b, err := json.Marshal(r.Telemetry)
+			if err != nil {
+				t.Fatalf("%v: marshal: %v", v, err)
+			}
+			return b
+		}
+		if a, b := snap(), snap(); !bytes.Equal(a, b) {
+			t.Fatalf("%v: telemetry snapshots differ between identical seed-1 runs", v)
+		}
+	}
+}

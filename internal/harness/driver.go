@@ -226,6 +226,8 @@ func Run(opt Options) *Result {
 		hCfg.SizedDelete = false
 	}
 	heap := tcmalloc.New(hCfg)
+	// The heap dies with this run; hand its trace slab back to the pool.
+	defer heap.Em.Recycle()
 	if opt.Threads <= 0 {
 		opt.Threads = 1
 	}

@@ -1,0 +1,38 @@
+package multicore_test
+
+import (
+	"testing"
+
+	"mallacc/internal/multicore"
+	"mallacc/internal/workload"
+)
+
+// benchEngine runs a small 4-core shard to completion; one iteration is one
+// full engine lifecycle (build, run, collect), the unit simsvc jobs pay.
+func benchEngine(b *testing.B, v multicore.Variant) {
+	w, ok := workload.ByName("ubench.tp_small")
+	if !ok {
+		b.Fatal("workload ubench.tp_small missing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		eng := multicore.New(multicore.Config{
+			Cores:        4,
+			Variant:      v,
+			Workload:     w,
+			CallsPerCore: 500,
+			Seed:         1,
+		})
+		res := eng.Run()
+		cycles += res.TotalCycles
+	}
+	if cycles == 0 {
+		b.Fatal("engine simulated zero cycles")
+	}
+}
+
+func BenchmarkEngine4CoreBaseline(b *testing.B) { benchEngine(b, multicore.Baseline) }
+
+func BenchmarkEngine4CoreMallacc(b *testing.B) { benchEngine(b, multicore.Mallacc) }

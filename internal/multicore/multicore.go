@@ -306,7 +306,10 @@ func (eng *Engine) Run() *Result {
 		}
 	}
 	eng.mu.Unlock()
-	return eng.collect()
+	res := eng.collect()
+	// The engine is single-shot; return the shared heap's trace slab.
+	eng.heap.Em.Recycle()
+	return res
 }
 
 // runCore is one core's goroutine body: wait for the token, run the shard

@@ -1,0 +1,54 @@
+package simsvc
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSubmitCachedHit measures the steady-state service hot path: a
+// job whose report is already cached, end to end through submit/await.
+func BenchmarkSubmitCachedHit(b *testing.B) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	spec := JobSpec{Kind: "run", Workload: "ubench.tp_small", Calls: 500, Seed: 1}
+	st, err := s.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Await(context.Background(), st.ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != StateDone {
+			if _, err := s.Await(context.Background(), st.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkJobKey measures spec canonicalization + content addressing,
+// paid on every submission.
+func BenchmarkJobKey(b *testing.B) {
+	spec := JobSpec{Kind: "run", Workload: "ubench.tp_small", Calls: 500, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := spec.Canonicalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Key() == "" {
+			b.Fatal("empty job key")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package uop
+
+import "testing"
+
+func TestSlabClass(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {128, 0}, {129, 1}, {256, 1}, {257, 2},
+		{1 << 15, slabMaxShift - slabMinShift}, {1<<15 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := slabClass(c.n); got != c.class {
+			t.Errorf("slabClass(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestPutSlabRejectsOddCapacities(t *testing.T) {
+	// Non-power-of-two and oversized slabs must not enter the pools, or a
+	// later getSlab would return less capacity than its class promises.
+	putSlab(make([]UOp, 0, 100))
+	putSlab(make([]UOp, 0, 1<<16))
+	putSlab(nil)
+	for i := 0; i < 64; i++ {
+		s := getSlab(100)
+		if cap(s) < 100 {
+			t.Fatalf("getSlab(100) returned cap %d", cap(s))
+		}
+		putSlab(s)
+	}
+}
+
+// TestEmitterSteadyStateAllocs pins the pooling contract: once an emitter
+// has grown to its working-set size, re-emitting a trace allocates nothing.
+func TestEmitterSteadyStateAllocs(t *testing.T) {
+	e := NewEmitter()
+	defer e.Recycle()
+	emit := func() {
+		e.Reset()
+		for i := 0; i < 200; i++ { // crosses the initial 128-op slab
+			e.ALU(NoDep, NoDep)
+		}
+	}
+	emit()
+	if allocs := testing.AllocsPerRun(500, emit); allocs != 0 {
+		t.Fatalf("steady-state emit allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestRecycleThenReuse(t *testing.T) {
+	e := NewEmitter()
+	for i := 0; i < 300; i++ {
+		e.ALU(NoDep, NoDep)
+	}
+	e.Recycle()
+	// A recycled emitter must come back empty and usable.
+	e2 := NewEmitter()
+	defer e2.Recycle()
+	if e2.Len() != 0 {
+		t.Fatalf("fresh emitter has %d ops", e2.Len())
+	}
+	v := e2.ALU(NoDep, NoDep)
+	if v != 0 || e2.Len() != 1 {
+		t.Fatalf("recycled slab not reset: val=%d len=%d", v, e2.Len())
+	}
+}

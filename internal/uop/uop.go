@@ -176,9 +176,11 @@ type Emitter struct {
 	disabled bool
 }
 
-// NewEmitter returns an Emitter with capacity for typical fast-path traces.
+// NewEmitter returns an Emitter with capacity for typical fast-path
+// traces. The backing slab comes from a shared pool; call Recycle when
+// the emitter is permanently done to return it.
 func NewEmitter() *Emitter {
-	return &Emitter{ops: make([]UOp, 0, 128), lastMC: NoDep}
+	return &Emitter{ops: getSlab(128), lastMC: NoDep}
 }
 
 // Reset discards the current trace and starts a new call.
@@ -210,10 +212,27 @@ func (e *Emitter) Len() int { return len(e.ops) }
 // Reset; callers must consume it before the next call.
 func (e *Emitter) Trace() Trace { return Trace{Ops: e.ops} }
 
+// Recycle returns the emitter's slab to the shared pool. The emitter (and
+// any Trace it handed out) must not be used afterwards; it is meant for
+// the end of a simulation run, when the owning heap is discarded.
+func (e *Emitter) Recycle() {
+	putSlab(e.ops)
+	e.ops = nil
+}
+
 func (e *Emitter) push(op UOp) Val {
 	op.Step = e.step
 	if op.MCEntry == 0 && !op.Kind.IsMallacc() {
 		op.MCEntry = -1
+	}
+	if len(e.ops) == cap(e.ops) {
+		// Grow through the slab pool instead of append's allocator: the
+		// outgrown slab is recycled for the next emitter or call.
+		grown := getSlab(2 * cap(e.ops))
+		grown = grown[:len(e.ops)]
+		copy(grown, e.ops)
+		putSlab(e.ops)
+		e.ops = grown
 	}
 	e.ops = append(e.ops, op)
 	return Val(len(e.ops) - 1)

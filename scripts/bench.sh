@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# bench.sh — the simulator's reproducible performance baseline.
+#
+# Full mode (default):
+#   - runs every microbenchmark suite (cpu scheduler, cache hierarchy,
+#     tcmalloc fast path, multicore engine, simulation service) with
+#     -count=5 -benchmem,
+#   - summarizes with benchstat when it is installed (no hard dependency),
+#   - times one end-to-end fig13 sweep,
+#   - writes BENCH_baseline.json with the measured numbers next to the
+#     frozen pre-rewrite reference, and
+#   - gates on the core per-cycle microbenchmark: >=2x vs the reference and
+#     zero allocations per scheduled call (BENCH_NO_GATE=1 skips).
+#
+# Smoke mode (--smoke, used by CI): one iteration of every benchmark, no
+# file writes, no gating — it only proves the benchmarks still compile and
+# run.
+#
+# Environment: BENCH_OUT (output path, default BENCH_baseline.json),
+# BENCH_COUNT (repetitions, default 5), BENCH_NO_GATE=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+for a in "$@"; do
+    case "$a" in
+        --smoke) MODE=smoke ;;
+        *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
+PKGS=(./internal/cpu ./internal/cachesim ./internal/tcmalloc ./internal/multicore ./internal/simsvc)
+OUT=${BENCH_OUT:-BENCH_baseline.json}
+COUNT=${BENCH_COUNT:-5}
+
+if [ "$MODE" = smoke ]; then
+    exec go test -run '^$' -bench . -benchmem -benchtime=1x "${PKGS[@]}"
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchmem -count="$COUNT" "${PKGS[@]}" | tee "$RAW"
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo
+    echo "== benchstat =="
+    benchstat "$RAW"
+fi
+
+echo
+echo "== end-to-end: fig13 sweep (seed 1) =="
+T0=$(date +%s.%N)
+go run ./cmd/mallacc-bench -run fig13 -seed 1 >/dev/null
+T1=$(date +%s.%N)
+FIG13_SECS=$(awk -v a="$T0" -v b="$T1" 'BEGIN{printf "%.2f", b-a}')
+echo "fig13 wall time: ${FIG13_SECS}s"
+
+awk -v out="$OUT" -v count="$COUNT" -v fig13="$FIG13_SECS" \
+    -v gover="$(go version | awk '{print $3}')" \
+    -v nogate="${BENCH_NO_GATE:-0}" '
+# The frozen reference: the same benchmark bodies run against the tree
+# before the zero-allocation scheduler rewrite (map-based reservation
+# tables, map branch predictor, unpooled emitters). ns/op, best of 5 on the
+# machine that produced the checked-in baseline. Re-measuring them requires
+# checking out the pre-rewrite commit, so they are constants here.
+BEGIN {
+    before["BenchmarkRunTraceFastPath"]    = 3481
+    before["BenchmarkRunTraceColdMisses"]  = 5183
+    before["BenchmarkRunTraceMallacc"]     = 1014
+    before["BenchmarkBranchPredictor"]     = 16.07
+    before["BenchmarkHierarchyLoadL1Hit"]  = 18.87
+    before["BenchmarkHierarchyLoadStream"] = 136.5
+    before["BenchmarkCacheLookupHit"]      = 9.106
+    before["BenchmarkFastAllocFree"]       = 508.4
+    before["BenchmarkFastAllocFreeMallacc"] = 588.1
+    before["BenchmarkFastAllocFreeNoEmit"] = 100.1
+    before["BenchmarkEngine4CoreBaseline"] = 33123087
+    before["BenchmarkEngine4CoreMallacc"]  = 21438757
+    before["BenchmarkSubmitCachedHit"]     = 6551
+    before["BenchmarkJobKey"]              = 3468
+    fig13_before = 18.5
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1; ns[name] = 1e308 }
+    for (i = 3; i + 1 <= NF; i += 2) {
+        v = $i + 0; u = $(i + 1)
+        if (u == "ns/op")          { if (v < ns[name]) ns[name] = v }
+        else if (u == "B/op")      { if (v > bpo[name]) bpo[name] = v }
+        else if (u == "allocs/op") { if (v > apo[name]) apo[name] = v }
+    }
+}
+END {
+    printf "{\n" > out
+    printf "  \"schema\": \"mallacc-bench-baseline/v1\",\n" >> out
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n" >> out
+    printf "  \"go_version\": \"%s\",\n", gover >> out
+    printf "  \"count\": %d,\n", count >> out
+    printf "  \"note\": \"before = pre-rewrite tree (cycle-keyed map scheduler, map branch predictor, unpooled uop emitters); after = this tree. ns_per_op is best-of-count; bytes/allocs per op are the worst observed. Shared-VM noise floor is roughly +/-30 percent run to run, so sub-2x ratios on benchmarks whose code did not change (cachesim, trace generation, simsvc) are host noise, not signal; the gate benchmark exercises exactly the rewritten scheduler.\",\n" >> out
+    printf "  \"benchmarks\": {\n" >> out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %g, \"bytes_per_op\": %d, \"allocs_per_op\": %d", \
+            name, ns[name], bpo[name] + 0, apo[name] + 0 >> out
+        if (name in before) {
+            printf ", \"before_ns_per_op\": %g, \"speedup\": %.2f", \
+                before[name], before[name] / ns[name] >> out
+        }
+        printf "}%s\n", (i < n ? "," : "") >> out
+    }
+    printf "  },\n" >> out
+    printf "  \"end_to_end\": {\"fig13_wall_seconds\": %s, \"fig13_wall_seconds_before\": %g, \"speedup\": %.2f},\n", \
+        fig13, fig13_before, fig13_before / fig13 >> out
+    core = "BenchmarkRunTraceFastPath"
+    sp = (core in ns && ns[core] < 1e308) ? before[core] / ns[core] : 0
+    pass = (sp >= 2.0 && apo[core] + 0 == 0) ? "true" : "false"
+    printf "  \"gate\": {\"benchmark\": \"%s\", \"min_speedup\": 2.0, \"speedup\": %.2f, \"allocs_per_op\": %d, \"pass\": %s}\n", \
+        core, sp, apo[core] + 0, pass >> out
+    printf "}\n" >> out
+    close(out)
+    printf "\nwrote %s\n", out
+    printf "gate: %s speedup %.2fx (floor 2.0x), %d allocs/op\n", core, sp, apo[core] + 0
+    if (pass != "true" && nogate != "1") {
+        print "BENCH GATE FAILED (set BENCH_NO_GATE=1 to bypass)" > "/dev/stderr"
+        exit 1
+    }
+}
+' "$RAW"
