@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke clean
+.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke clean
 
 all: build vet test
 
@@ -51,6 +51,12 @@ serve-smoke:
 # the schedule.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Observability smoke test: OpenMetrics scrape linted by scripts/promlint,
+# server-side trace record/replay byte-identity, and a live SSE progress
+# stream (>= 2 progress events then done).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -15,9 +15,12 @@
 //
 //	curl -s localhost:7077/v1/jobs -d '{"experiment":"fig13"}'
 //	curl -s localhost:7077/v1/jobs/j00000001
+//	curl -sN localhost:7077/v1/jobs/j00000001/events    # live SSE progress
 //	curl -s -X DELETE localhost:7077/v1/jobs/j00000001
+//	curl -s localhost:7077/v1/traces -d '{"workload":"ubench.gauss"}'
 //	curl -s localhost:7077/v1/healthz
 //	curl -s localhost:7077/v1/metrics
+//	curl -s "localhost:7077/v1/metrics?format=openmetrics"
 //
 // SIGTERM/SIGINT drains gracefully: intake stops, queued jobs are
 // canceled, in-flight jobs run to completion, then the process exits 0.
@@ -46,6 +49,8 @@ func main() {
 		queue     = flag.Int("queue", simsvc.DefaultQueueHighWater, "queue high-water mark; submissions beyond it get 429")
 		cacheN    = flag.Int("cache", simsvc.DefaultCacheEntries, "in-memory result cache entries")
 		cacheDir  = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		traceDir  = flag.String("trace-dir", "", "directory for the on-disk recorded-trace store (empty = memory only)")
+		progEvery = flag.Uint64("progress-every", 0, "progress-event cadence in simulated cycles (0 = default)")
 		timeout   = flag.Duration("timeout", simsvc.DefaultJobTimeout, "per-job run timeout")
 		attempts  = flag.Int("max-attempts", simsvc.DefaultMaxAttempts, "runs per job including the first; transient failures retry up to this")
 		drainT    = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget for in-flight jobs")
@@ -76,6 +81,8 @@ func main() {
 		CacheEntries:   *cacheN,
 		CacheDir:       *cacheDir,
 		MaxAttempts:    *attempts,
+		TraceDir:       *traceDir,
+		ProgressEvery:  *progEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -24,6 +24,7 @@ import (
 	"mallacc"
 	"mallacc/internal/faults"
 	"mallacc/internal/harness"
+	"mallacc/internal/simsvc"
 )
 
 func main() {
@@ -40,6 +41,9 @@ func main() {
 		record  = flag.String("record", "", "write the workload's request trace to this file and exit")
 		replay  = flag.String("replay", "", "run a previously recorded trace file instead of -workload")
 		serve   = flag.String("serve", "", "submit the run to a mallacc-serve daemon at this base URL instead of simulating locally")
+		follow  = flag.Bool("follow", false, "with -serve: stream the job's live progress events while it runs")
+		recKey  = flag.Bool("record-trace", false, "record -workload into the content-addressed trace store, print its trace:<key> name, and exit")
+		trDir   = flag.String("trace-dir", "results/traces", "trace store directory for -record-trace and trace:<key> workloads")
 	)
 	flag.Parse()
 
@@ -63,12 +67,45 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *serve != "" {
-		if *replay != "" || *record != "" {
-			fmt.Fprintln(os.Stderr, "-serve cannot record or replay traces; the daemon only runs stock workloads")
+	if *follow && *serve == "" {
+		fmt.Fprintln(os.Stderr, "-follow streams a daemon job's events; it requires -serve")
+		os.Exit(1)
+	}
+
+	if *recKey {
+		// Record into the content-addressed store: remotely when -serve
+		// names a daemon (the daemon captures into its own store), locally
+		// into -trace-dir otherwise. Either way the printed trace:<key>
+		// name replays the exact stream through the matching store.
+		spec := simsvc.TraceSpec{Workload: *wname, Calls: *calls, Seed: *seed}
+		if *serve != "" {
+			if err := recordRemote(*serve, spec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		store, err := simsvc.NewTraceStore(*trDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := runRemote(*serve, *wname, *variant, *entries, *calls, *seed, *cores, *format, *metrics); err != nil {
+		key, tr, err := store.Record(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d events to %s\n", len(tr.Events), *trDir)
+		fmt.Println(simsvc.TraceKeyName(key))
+		return
+	}
+
+	if *serve != "" {
+		if *replay != "" || *record != "" {
+			fmt.Fprintln(os.Stderr, "-serve cannot use trace files; record with -record-trace and submit the trace:<key> workload instead")
+			os.Exit(1)
+		}
+		if err := runRemote(*serve, *wname, *variant, *entries, *calls, *seed, *cores, *format, *metrics, *follow); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -76,7 +113,19 @@ func main() {
 	}
 
 	var w mallacc.Workload
-	if *replay != "" {
+	if key, ok := simsvc.ParseTraceKey(*wname); ok {
+		store, err := simsvc.NewTraceStore(*trDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, found := store.Get(key)
+		if !found {
+			fmt.Fprintf(os.Stderr, "trace %s not found under %s; record one with -record-trace\n", key, *trDir)
+			os.Exit(1)
+		}
+		w = tr
+	} else if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -16,6 +17,7 @@ import (
 	"mallacc"
 	"mallacc/internal/faults"
 	"mallacc/internal/harness"
+	"mallacc/internal/progress"
 	"mallacc/internal/retry"
 	"mallacc/internal/simsvc"
 )
@@ -78,13 +80,20 @@ func (c *apiClient) doStatus(ctx context.Context, method, url string, body []byt
 	return st, err
 }
 
-// runRemote submits the run as a job to a mallacc-serve daemon, polls it
-// to completion, and renders the returned report in the requested format.
-func runRemote(base, wname, variant string, entries, calls int, seed uint64, cores int, format string, metrics bool) error {
+// normalizeBase canonicalizes the daemon base URL.
+func normalizeBase(base string) string {
 	base = strings.TrimRight(base, "/")
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
+	return base
+}
+
+// runRemote submits the run as a job to a mallacc-serve daemon, waits for
+// it — tailing its live progress stream when follow is set — and renders
+// the returned report in the requested format.
+func runRemote(base, wname, variant string, entries, calls int, seed uint64, cores int, format string, metrics, follow bool) error {
+	base = normalizeBase(base)
 	spec := mallacc.JobSpec{
 		Workload:  wname,
 		Variant:   variant,
@@ -103,6 +112,15 @@ func runRemote(base, wname, variant string, entries, calls int, seed uint64, cor
 	st, err := client.doStatus(ctx, http.MethodPost, base+"/v1/jobs", body)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
+	}
+
+	if follow && !st.State.Terminal() {
+		// Tail the SSE stream until the server writes the terminal event
+		// and closes. A streaming failure degrades to the poll loop below
+		// rather than failing the run.
+		if err := followEvents(ctx, base, st.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v (falling back to polling)\n", err)
+		}
 	}
 
 	for !st.State.Terminal() {
@@ -129,6 +147,132 @@ func runRemote(base, wname, variant string, entries, calls int, seed uint64, cor
 	}
 	_, err = os.Stdout.Write(b)
 	return err
+}
+
+// followEvents subscribes to a job's SSE stream and renders each event to
+// stderr (stdout stays reserved for the report). The server closes the
+// stream after the terminal event; the dedicated client has no overall
+// timeout because a healthy stream is open for the job's whole runtime.
+func followEvents(ctx context.Context, base, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				renderEvent(data)
+				data = nil
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+		// id:/event: lines and ": heartbeat" comments need no handling —
+		// the data document carries the sequence number and type.
+	}
+	return sc.Err()
+}
+
+// renderEvent pretty-prints one SSE data document.
+func renderEvent(data []byte) {
+	var ev simsvc.JobEvent
+	if err := json.Unmarshal(data, &ev); err != nil {
+		fmt.Fprintf(os.Stderr, "event: %s\n", data)
+		return
+	}
+	switch ev.Type {
+	case simsvc.EventProgress:
+		var sn progress.Snapshot
+		if err := json.Unmarshal(ev.Data, &sn); err != nil {
+			fmt.Fprintf(os.Stderr, "progress: %s\n", ev.Data)
+			return
+		}
+		line := fmt.Sprintf("progress #%d: %.1fM cycles, %.1fM uops, %d mallocs, %d frees",
+			sn.Seq, float64(sn.Cycles)/1e6, float64(sn.Instructions)/1e6, sn.MallocCalls, sn.FreeCalls)
+		if sn.MCHitRate > 0 {
+			line += fmt.Sprintf(", mc hit %.1f%%", 100*sn.MCHitRate)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	default:
+		msg := "job " + ev.Type
+		if len(ev.Data) > 0 {
+			msg += ": " + string(ev.Data)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+	}
+}
+
+// recordRemote asks the daemon to record a trace server-side and prints
+// the replayable trace:<key> workload name.
+func recordRemote(base string, spec simsvc.TraceSpec) error {
+	base = normalizeBase(base)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	client := newAPIClient(base)
+	var out struct {
+		Key      string `json:"key"`
+		Workload string `json:"workload"`
+		Events   int    `json:"events"`
+	}
+	err = client.policy.Do(context.Background(), func(int) error {
+		if err := faults.Inject(faults.PointRemoteHTTP); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/traces", bytes.NewReader(body))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.http.Do(req)
+		if err != nil {
+			return retry.Transient(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return retry.Transient(err)
+		}
+		if resp.StatusCode >= 300 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			msg := resp.Status
+			if json.Unmarshal(b, &e) == nil && e.Error != "" {
+				msg = resp.Status + ": " + e.Error
+			}
+			serr := errors.New(msg)
+			if !retry.TransientHTTPStatus(resp.StatusCode) {
+				return retry.Permanent(serr)
+			}
+			return retry.Transient(serr)
+		}
+		if err := json.Unmarshal(b, &out); err != nil {
+			return retry.Transient(err)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("record trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "daemon recorded %d events\n", out.Events)
+	fmt.Println(out.Workload)
+	return nil
 }
 
 // decodeStatus reads one API response, surfacing the server's error

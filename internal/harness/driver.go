@@ -10,6 +10,7 @@ import (
 	"mallacc/internal/core"
 	"mallacc/internal/cpu"
 	"mallacc/internal/mem"
+	"mallacc/internal/progress"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
 	"mallacc/internal/telemetry"
@@ -85,6 +86,15 @@ type Options struct {
 	// execution rotates to the next thread and the malloc cache is
 	// flushed (no writebacks needed — Sec. 4.1). 0 disables switches.
 	SwitchEvery int
+
+	// Progress, when set, receives periodic execution snapshots plus one
+	// final Done snapshot. The cadence is ProgressEvery simulated cycles
+	// (progress.DefaultEvery when 0) on the core's logical clock, so the
+	// snapshot stream is a pure function of the run's options — identical
+	// seed and spec publish identical events. Observability only: it never
+	// changes simulation results.
+	Progress      progress.Reporter
+	ProgressEvery uint64
 }
 
 // Result is everything a run produces.
@@ -165,6 +175,7 @@ type driver struct {
 	core    *cpu.Core
 	rng     *stats.RNG
 	res     *Result
+	track   *progress.Tracker
 
 	switchEvery int
 	callCount   int
@@ -274,6 +285,7 @@ func Run(opt Options) *Result {
 		heap: heap, threads: threads, core: c,
 		rng:         stats.NewRNG(opt.Seed*0x9e3779b9 + 0x1234),
 		res:         res,
+		track:       progress.NewTracker(opt.Progress, opt.ProgressEvery),
 		switchEvery: opt.SwitchEvery,
 		liveRounded: map[uint64]uint64{},
 	}
@@ -284,6 +296,7 @@ func Run(opt Options) *Result {
 
 	start := c.Cycle()
 	opt.Workload.Run(d, opt.Calls, stats.NewRNG(opt.Seed+1))
+	d.track.Finish(c.Cycle(), d.fillSnapshot)
 	res.TotalCycles = c.Cycle() - start
 	res.OSBytes = heap.Space.SbrkBytes - metaBytes
 	res.Heap = heap.Stats
@@ -336,7 +349,19 @@ func (d *driver) Malloc(size uint64) uint64 {
 	if d.liveBytes > d.res.PeakLiveBytes {
 		d.res.PeakLiveBytes = d.liveBytes
 	}
+	d.track.Observe(d.core.Cycle(), d.fillSnapshot)
 	return addr
+}
+
+// fillSnapshot populates a progress snapshot from the run's live counters.
+func (d *driver) fillSnapshot(s *progress.Snapshot) {
+	s.Instructions = d.core.Stats.Uops
+	s.MallocCalls = d.res.MallocCalls
+	s.FreeCalls = d.res.FreeCalls
+	if d.heap.MC != nil {
+		st := d.heap.MC.Stats
+		s.MCHitRate = telemetry.Ratio(st.LookupHits, st.LookupMisses)
+	}
 }
 
 func (d *driver) Free(addr uint64, sizeHint uint64) {
@@ -351,6 +376,7 @@ func (d *driver) Free(addr uint64, sizeHint uint64) {
 	d.res.FreeHist.Add(cyc)
 	d.res.FreeCycles += cyc
 	d.res.FreeCalls++
+	d.track.Observe(d.core.Cycle(), d.fillSnapshot)
 }
 
 func (d *driver) Work(cycles uint64, lines int) {

@@ -40,6 +40,7 @@ import (
 	"mallacc/internal/core"
 	"mallacc/internal/cpu"
 	"mallacc/internal/mem"
+	"mallacc/internal/progress"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
 	"mallacc/internal/telemetry"
@@ -100,6 +101,14 @@ type Config struct {
 	RemoteFreeProb float64
 	// Registry receives all metrics; a fresh one is created when nil.
 	Registry *telemetry.Registry
+
+	// Progress, when set, receives machine-wide execution snapshots at
+	// epoch boundaries — at most one per ProgressEvery cycles of the epoch
+	// clock (progress.DefaultEvery when 0) — plus one final Done snapshot.
+	// Epochs are a pure function of the cores' logical clocks, so the
+	// stream is deterministic per seed and config. Observability only.
+	Progress      progress.Reporter
+	ProgressEvery uint64
 }
 
 // WithDefaults returns the config with every unset knob resolved to its
@@ -144,6 +153,7 @@ type Engine struct {
 	active *coreState
 	epoch  uint64
 	yields uint64
+	track  *progress.Tracker
 
 	metaBytes uint64
 	liveBytes uint64
@@ -171,6 +181,7 @@ func New(cfg Config) *Engine {
 		cfg:       cfg,
 		heap:      heap,
 		reg:       cfg.Registry,
+		track:     progress.NewTracker(cfg.Progress, cfg.ProgressEvery),
 		liveSizes: map[uint64]uint64{},
 	}
 	eng.cond = sync.NewCond(&eng.mu)
@@ -259,6 +270,10 @@ func (eng *Engine) advanceTurn() {
 		}
 		if next <= eng.turn {
 			eng.epoch++
+			// Epoch count and cycle counts are deterministic, so the
+			// snapshot stream is too. The engine mutex is held here; the
+			// reporter must not call back into the engine.
+			eng.track.Observe(eng.epoch*eng.cfg.EpochCycles, eng.fillSnapshot)
 		}
 		eng.setActive(next)
 		eng.cond.Broadcast()
@@ -266,6 +281,22 @@ func (eng *Engine) advanceTurn() {
 	}
 	eng.turn = -1
 	eng.cond.Broadcast()
+}
+
+// fillSnapshot populates a progress snapshot with machine-wide aggregates.
+// Caller holds the engine mutex.
+func (eng *Engine) fillSnapshot(s *progress.Snapshot) {
+	var lookupHits, lookupMisses uint64
+	for _, cs := range eng.cores {
+		s.Instructions += cs.cpu.Stats.Uops
+		s.MallocCalls += cs.res.MallocCalls
+		s.FreeCalls += cs.res.FreeCalls
+		if cs.mc != nil {
+			lookupHits += cs.mc.Stats.LookupHits
+			lookupMisses += cs.mc.Stats.LookupMisses
+		}
+	}
+	s.MCHitRate = telemetry.Ratio(lookupHits, lookupMisses)
 }
 
 // setActive installs core id as the executing core: the token, plus the
@@ -305,6 +336,13 @@ func (eng *Engine) Run() *Result {
 			cs.drainInbox()
 		}
 	}
+	var wall uint64
+	for _, cs := range eng.cores {
+		if c := cs.cpu.Cycle(); c > wall {
+			wall = c
+		}
+	}
+	eng.track.Finish(wall, eng.fillSnapshot)
 	eng.mu.Unlock()
 	res := eng.collect()
 	// The engine is single-shot; return the shared heap's trace slab.

@@ -1,0 +1,96 @@
+// Package progress carries live execution snapshots out of long simulation
+// runs. A run publishes a Snapshot every time its logical clock crosses a
+// cadence boundary (every N simulated cycles, not wall time), so the stream
+// is a pure function of the run's seed and spec: two executions of the same
+// job publish byte-identical snapshot sequences regardless of host load.
+// That determinism is what lets the simulation service buffer the events,
+// replay them to late subscribers, and test them with golden comparisons.
+package progress
+
+// Snapshot is one point-in-time progress reading of a run.
+type Snapshot struct {
+	// Seq numbers the snapshots of one run from 0.
+	Seq int `json:"seq"`
+	// Cycles is the run's logical clock at the snapshot.
+	Cycles uint64 `json:"cycles"`
+	// Instructions is the uops retired in allocator calls so far.
+	Instructions uint64 `json:"instructions"`
+	// MallocCalls / FreeCalls count completed allocator calls.
+	MallocCalls uint64 `json:"malloc_calls"`
+	FreeCalls   uint64 `json:"free_calls"`
+	// MCHitRate is the malloc-cache size-class lookup hit rate (0 outside
+	// the mallacc variant).
+	MCHitRate float64 `json:"mc_hit_rate"`
+	// Done marks the final snapshot of a run.
+	Done bool `json:"done,omitempty"`
+}
+
+// Reporter receives snapshots. Implementations must be cheap and must not
+// call back into the run that is publishing.
+type Reporter interface {
+	Report(Snapshot)
+}
+
+// Func adapts a function to the Reporter interface.
+type Func func(Snapshot)
+
+// Report implements Reporter.
+func (f Func) Report(s Snapshot) { f(s) }
+
+// DefaultEvery is the snapshot cadence in simulated cycles when a run does
+// not choose one. At typical call latencies this yields a snapshot every
+// ~10-20k allocator calls: frequent enough for a live view, sparse enough
+// that buffering every event of a long run stays cheap.
+const DefaultEvery = 2_000_000
+
+// Tracker rate-limits snapshot emission on a logical clock. The zero
+// Tracker and the nil Tracker are both inert, so hot paths can call Observe
+// unconditionally.
+type Tracker struct {
+	r     Reporter
+	every uint64
+	next  uint64
+	seq   int
+}
+
+// NewTracker builds a tracker emitting to r at most once per every cycles
+// (DefaultEvery when every is 0). A nil reporter yields a nil tracker.
+func NewTracker(r Reporter, every uint64) *Tracker {
+	if r == nil {
+		return nil
+	}
+	if every == 0 {
+		every = DefaultEvery
+	}
+	return &Tracker{r: r, every: every, next: every}
+}
+
+// Observe emits one snapshot if the logical clock has crossed the next
+// cadence boundary; fill populates everything but Seq and Cycles. Crossing
+// several boundaries in one step still emits a single snapshot — the event
+// count is bounded by cycles/every.
+func (t *Tracker) Observe(cycles uint64, fill func(*Snapshot)) {
+	if t == nil || cycles < t.next {
+		return
+	}
+	t.next = (cycles/t.every + 1) * t.every
+	t.emit(cycles, false, fill)
+}
+
+// Finish emits the run's final snapshot (Done set) unconditionally.
+func (t *Tracker) Finish(cycles uint64, fill func(*Snapshot)) {
+	if t == nil {
+		return
+	}
+	t.emit(cycles, true, fill)
+}
+
+func (t *Tracker) emit(cycles uint64, done bool, fill func(*Snapshot)) {
+	s := Snapshot{Seq: t.seq, Cycles: cycles, Done: done}
+	if fill != nil {
+		fill(&s)
+	}
+	s.Seq, s.Cycles, s.Done = t.seq, cycles, done // fill cannot override the envelope
+	t.seq++
+	t.r.Report(s)
+}

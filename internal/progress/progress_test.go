@@ -1,0 +1,99 @@
+package progress
+
+import (
+	"reflect"
+	"testing"
+)
+
+// collect is a Reporter that appends every snapshot.
+type collect struct{ got []Snapshot }
+
+func (c *collect) Report(s Snapshot) { c.got = append(c.got, s) }
+
+func TestTrackerCadence(t *testing.T) {
+	c := &collect{}
+	tr := NewTracker(c, 100)
+
+	// Below the first threshold: silent.
+	tr.Observe(99, nil)
+	if len(c.got) != 0 {
+		t.Fatalf("premature emit: %+v", c.got)
+	}
+	// Crossing emits exactly once, even when observed repeatedly.
+	tr.Observe(100, nil)
+	tr.Observe(150, nil)
+	if len(c.got) != 1 {
+		t.Fatalf("want 1 event after crossing 100, got %d", len(c.got))
+	}
+	if c.got[0].Seq != 0 || c.got[0].Cycles != 100 || c.got[0].Done {
+		t.Fatalf("bad first event: %+v", c.got[0])
+	}
+	// A jump across several thresholds emits one event (progress is a
+	// sample, not a backfill).
+	tr.Observe(450, nil)
+	if len(c.got) != 2 || c.got[1].Seq != 1 || c.got[1].Cycles != 450 {
+		t.Fatalf("bad second event: %+v", c.got)
+	}
+	// Finish always emits, marked Done.
+	tr.Finish(500, nil)
+	last := c.got[len(c.got)-1]
+	if !last.Done || last.Cycles != 500 || last.Seq != 2 {
+		t.Fatalf("bad final event: %+v", last)
+	}
+}
+
+func TestTrackerFillPopulates(t *testing.T) {
+	c := &collect{}
+	tr := NewTracker(c, 10)
+	tr.Observe(10, func(s *Snapshot) {
+		s.Instructions = 42
+		s.MallocCalls = 7
+		// Envelope fields set by fill must not survive; the tracker owns
+		// Seq/Cycles/Done.
+		s.Seq = 999
+		s.Cycles = 999
+		s.Done = true
+	})
+	want := Snapshot{Seq: 0, Cycles: 10, Instructions: 42, MallocCalls: 7}
+	if !reflect.DeepEqual(c.got[0], want) {
+		t.Fatalf("got %+v want %+v", c.got[0], want)
+	}
+}
+
+func TestTrackerNilSafety(t *testing.T) {
+	// A nil reporter yields a nil tracker whose methods are no-ops.
+	tr := NewTracker(nil, 10)
+	if tr != nil {
+		t.Fatal("nil reporter must yield nil tracker")
+	}
+	tr.Observe(100, nil)
+	tr.Finish(100, nil)
+}
+
+func TestTrackerDefaultCadence(t *testing.T) {
+	c := &collect{}
+	tr := NewTracker(c, 0)
+	tr.Observe(DefaultEvery-1, nil)
+	if len(c.got) != 0 {
+		t.Fatal("emitted below the default cadence")
+	}
+	tr.Observe(DefaultEvery, nil)
+	if len(c.got) != 1 {
+		t.Fatal("default cadence threshold did not emit")
+	}
+}
+
+func TestTrackerDeterministic(t *testing.T) {
+	run := func() []Snapshot {
+		c := &collect{}
+		tr := NewTracker(c, 100)
+		for cyc := uint64(0); cyc <= 1000; cyc += 7 {
+			tr.Observe(cyc, nil)
+		}
+		tr.Finish(1001, nil)
+		return c.got
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("same observation sequence produced different events:\n%v\n%v", a, b)
+	}
+}

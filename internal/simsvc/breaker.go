@@ -89,7 +89,8 @@ type Breaker struct {
 	wlen, wpos  int
 	consecFails int
 	openedAt    time.Time
-	probesOut   int // half-open probes admitted and not yet resolved
+	changedAt   time.Time // when state last transitioned; feeds StateAge
+	probesOut   int       // half-open probes admitted and not yet resolved
 	probeOKs    int
 
 	opened, shed atomic.Uint64
@@ -115,7 +116,16 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window), changedAt: cfg.Now()}
+}
+
+// setStateLocked moves to st, stamping the transition time only on actual
+// changes so StateAge reads how long the breaker has held its position.
+func (b *Breaker) setStateLocked(st BreakerState) {
+	if b.state != st {
+		b.state = st
+		b.changedAt = b.cfg.Now()
+	}
 }
 
 // Allow reports whether a new submission may proceed. Open sheds until
@@ -129,7 +139,7 @@ func (b *Breaker) Allow() bool {
 			b.shed.Add(1)
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setStateLocked(BreakerHalfOpen)
 		b.probesOut, b.probeOKs = 0, 0
 	}
 	if b.state == BreakerHalfOpen {
@@ -163,7 +173,7 @@ func (b *Breaker) Record(o Outcome) {
 		case OutcomeSuccess:
 			b.probeOKs++
 			if b.probeOKs >= b.cfg.Probes {
-				b.state = BreakerHealthy
+				b.setStateLocked(BreakerHealthy)
 				b.resetWindowLocked()
 			}
 		}
@@ -185,15 +195,15 @@ func (b *Breaker) Record(o Outcome) {
 		b.consecFails = 0
 	}
 	if b.failureRatioLocked() >= b.cfg.DegradedRatio {
-		b.state = BreakerDegraded
+		b.setStateLocked(BreakerDegraded)
 	} else {
-		b.state = BreakerHealthy
+		b.setStateLocked(BreakerHealthy)
 	}
 }
 
 // tripLocked opens the breaker and starts the cooldown clock.
 func (b *Breaker) tripLocked() {
-	b.state = BreakerOpen
+	b.setStateLocked(BreakerOpen)
 	b.openedAt = b.cfg.Now()
 	b.opened.Add(1)
 	b.resetWindowLocked()
@@ -234,10 +244,19 @@ func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
-		b.state = BreakerHalfOpen
+		b.setStateLocked(BreakerHalfOpen)
 		b.probesOut, b.probeOKs = 0, 0
 	}
 	return b.state
+}
+
+// StateAge reports how long the breaker has been in its current state,
+// after applying the same lazy open → half-open transition State performs.
+func (b *Breaker) StateAge() time.Duration {
+	b.State()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cfg.Now().Sub(b.changedAt)
 }
 
 // Opened returns how many times the breaker has tripped open.

@@ -1,0 +1,101 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Job event types as they appear on the SSE wire.
+const (
+	EventProgress = "progress"
+	EventDone     = "done"
+	EventFailed   = "failed"
+	EventCanceled = "canceled"
+)
+
+// JobEvent is one entry in a job's event stream. Seq is the zero-based
+// position in the stream and doubles as the SSE id, so clients can resume
+// with Last-Event-ID semantics. Data is the type-specific payload: a
+// progress.Snapshot for progress events, an {"error": ...} object for
+// failures, empty otherwise.
+type JobEvent struct {
+	Seq  int             `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// eventLog is an append-only, broadcast-on-append record of one job's
+// lifecycle. Appends happen on the worker goroutine (and scheduler, for the
+// terminal event); any number of SSE handlers tail it concurrently. The log
+// closes exactly once, with the terminal event, after which appends are
+// dropped — a reporter still held by a timed-out run cannot grow a finished
+// stream.
+type eventLog struct {
+	mu     sync.Mutex
+	events []JobEvent
+	closed bool
+	// wake is closed and replaced on every append, so tailers block on the
+	// current channel and re-snapshot when it fires.
+	wake chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append records an event, stamping its sequence number. No-op once closed.
+func (l *eventLog) append(typ string, data json.RawMessage) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, JobEvent{Seq: len(l.events), Type: typ, Data: data})
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// close appends the terminal event and seals the log.
+func (l *eventLog) close(typ string, data json.RawMessage) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, JobEvent{Seq: len(l.events), Type: typ, Data: data})
+	l.closed = true
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// snapshotFrom returns the events at index >= from, whether the log is
+// sealed, and the channel that fires on the next append. The returned slice
+// aliases the log's backing array, which is safe: entries are never mutated
+// after append.
+func (l *eventLog) snapshotFrom(from int) ([]JobEvent, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from > len(l.events) {
+		from = len(l.events)
+	}
+	return l.events[from:], l.closed, l.wake
+}
+
+// progressData marshals a progress snapshot for the event stream.
+func progressData(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Snapshots are plain numeric structs; Marshal cannot fail.
+		panic("simsvc: marshal progress event: " + err.Error())
+	}
+	return b
+}
+
+// errorData builds the payload of a failed event ("" means no payload).
+func errorData(msg string) json.RawMessage {
+	if msg == "" {
+		return nil
+	}
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return b
+}

@@ -3,11 +3,15 @@ package simsvc
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"mallacc/internal/faults"
 	"mallacc/internal/retry"
+	"mallacc/internal/telemetry"
 )
 
 // Handler returns the service's HTTP JSON API:
@@ -16,10 +20,17 @@ import (
 //	                     400 invalid spec, 429 queue full, 503 draining or
 //	                     circuit breaker open (Retry-After set)
 //	GET    /v1/jobs/{id} job status, report included once done
+//	GET    /v1/jobs/{id}/events
+//	                     live progress stream over Server-Sent Events;
+//	                     finished jobs replay their full stream and close
 //	DELETE /v1/jobs/{id} cancel; 409 error body when already finished
-//	GET    /v1/healthz   liveness + occupancy + breaker state; ok=false
+//	POST   /v1/traces    record a TraceSpec's allocation stream into the
+//	                     trace store; returns the replayable trace:<key>
+//	GET    /v1/healthz   liveness + occupancy + breaker state/age; ok=false
 //	                     (still 200) while the breaker is open
-//	GET    /v1/metrics   telemetry snapshot (compact map form)
+//	GET    /v1/metrics   telemetry snapshot: JSON (compact map form) by
+//	                     default, OpenMetrics text exposition with
+//	                     ?format=openmetrics or an Accept header naming it
 //
 // Every handler passes the simsvc.http injection point first, so the
 // chaos harness can fault whole requests before they reach the service.
@@ -27,7 +38,9 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/traces", s.handleRecordTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return faultsMiddleware(mux)
@@ -64,7 +77,10 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	// Every /v1 response reflects live state (job tables, occupancy,
+	// counters); an intermediary replaying a stale body would lie.
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -142,10 +158,137 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		OK      bool   `json:"ok"`
 		Breaker string `json:"breaker"`
+		// BreakerAgeSeconds is how long the breaker has held its current
+		// state — an operator reading "open" wants to know "since when".
+		BreakerAgeSeconds float64 `json:"breaker_age_seconds"`
 		Health
-	}{OK: breaker != BreakerOpen, Breaker: breaker.String(), Health: h})
+	}{
+		OK:                breaker != BreakerOpen,
+		Breaker:           breaker.String(),
+		BreakerAgeSeconds: s.breaker.StateAge().Seconds(),
+		Health:            h,
+	})
 }
 
+// handleMetrics negotiates the snapshot format: the explicit ?format query
+// parameter wins, then an Accept header naming the OpenMetrics media type;
+// JSON stays the default so existing scrapers see byte-identical output.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		format = "openmetrics"
+	}
+	switch format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	case "openmetrics":
+		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		w.Write(telemetry.OpenMetrics(s.reg.Snapshot()))
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown metrics format %q (want json or openmetrics)", format))
+	}
+}
+
+// DefaultSSEHeartbeat keeps idle event streams alive through proxies.
+const DefaultSSEHeartbeat = 15 * time.Second
+
+// handleEvents streams a job's progress events as Server-Sent Events. The
+// stream always replays from the start (event ids are stable, so clients
+// dedupe on reconnect), tails live jobs until their terminal event, and
+// sends comment heartbeats while idle. Finished jobs replay in full and
+// the stream closes.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	log, err := s.Events(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	s.sseStreams.Add(1)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	heartbeat := time.NewTicker(s.sseHeartbeat)
+	defer heartbeat.Stop()
+	next := 0
+	for {
+		events, closed, wake := log.snapshotFrom(next)
+		for _, ev := range events {
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-heartbeat.C:
+			// Comment lines are ignored by EventSource parsers but keep
+			// the connection from idling out.
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event: the sequence number is the SSE id (resume
+// cursor), the type routes addEventListener, and the data line carries the
+// full JobEvent document.
+func writeSSE(w io.Writer, ev JobEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+	return err
+}
+
+// handleRecordTrace captures a workload's allocation stream server-side
+// and returns the content key it replays under.
+func (s *Service) handleRecordTrace(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("read body: "+err.Error()))
+		return
+	}
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	var spec TraceSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrInvalidSpec, err))
+		return
+	}
+	key, tr, err := s.traces.Record(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Key      string `json:"key"`
+		Workload string `json:"workload"`
+		Events   int    `json:"events"`
+	}{Key: key, Workload: TraceKeyName(key), Events: len(tr.Events)})
 }

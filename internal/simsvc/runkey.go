@@ -37,6 +37,11 @@ type runKey struct {
 	NoPrefetchBlocking bool
 	Threads            int
 	SwitchEvery        int
+	// Progress/ProgressEvery are observability-only: they never change
+	// simulation results, so the key zeroes them (a run with a reporter
+	// attached hashes the same as one without).
+	Progress      bool
+	ProgressEvery uint64
 }
 
 // runKeyOf content-addresses a single-core run. Only stock workloads are
@@ -50,7 +55,7 @@ func runKeyOf(opt harness.Options) (string, bool) {
 		return "", false
 	}
 	name := opt.Workload.Name()
-	if _, ok := workload.ByName(name); !ok {
+	if !workload.Known(name) {
 		return "", false
 	}
 	if _, isTrace := opt.Workload.(*workload.Trace); isTrace {
@@ -112,6 +117,9 @@ type clusterKey struct {
 	Seed           uint64
 	EpochCycles    uint64
 	RemoteFreeProb float64
+	// Observability-only, zeroed like runKey's counterparts.
+	Progress      bool
+	ProgressEvery uint64
 }
 
 // clusterKeyOf content-addresses a multi-core run, normalized through
@@ -121,7 +129,7 @@ func clusterKeyOf(cfg multicore.Config) (string, bool) {
 		return "", false
 	}
 	name := cfg.Workload.Name()
-	if _, ok := workload.ByName(name); !ok {
+	if !workload.Known(name) {
 		return "", false
 	}
 	if _, isTrace := cfg.Workload.(*workload.Trace); isTrace {

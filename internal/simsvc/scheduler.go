@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mallacc/internal/progress"
 	"mallacc/internal/retry"
 	"mallacc/internal/telemetry"
 )
@@ -52,8 +53,9 @@ var errRunCanceled = errors.New("run aborted: job context canceled")
 
 // Runner executes one job and returns its serialized report. The scheduler
 // treats it as opaque; the service injects the simulation-backed runner and
-// tests inject stubs.
-type Runner func(ctx context.Context, spec JobSpec) ([]byte, error)
+// tests inject stubs. rep (never nil) receives the job's progress snapshots;
+// the scheduler fans them out to the job's event stream.
+type Runner func(ctx context.Context, spec JobSpec, rep progress.Reporter) ([]byte, error)
 
 // SchedulerConfig sizes the worker pool.
 type SchedulerConfig struct {
@@ -108,6 +110,9 @@ type job struct {
 	ended    time.Time
 	cancel   context.CancelFunc
 	done     chan struct{}
+	// events is the job's append-only progress stream, served over SSE.
+	// Created with the job, sealed by the terminal transition.
+	events *eventLog
 }
 
 // JobStatus is the API-facing copy of a job's state at one instant.
@@ -196,6 +201,7 @@ func (s *Scheduler) newJobLocked(spec JobSpec, key string) *job {
 		spec:    spec,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		events:  newEventLog(),
 	}
 	s.jobs[j.id] = j
 	return j
@@ -262,6 +268,7 @@ func (s *Scheduler) Completed(spec JobSpec, key string, result []byte) (JobStatu
 	j.cached = true
 	j.result = result
 	j.ended = j.created
+	j.events.close(EventDone, nil)
 	close(j.done)
 	s.submitted.Add(1)
 	s.completed.Add(1)
@@ -368,10 +375,13 @@ func (s *Scheduler) finishLocked(j *job, state JobState, errMsg string, result [
 	switch state {
 	case StateDone:
 		s.completed.Add(1)
+		j.events.close(EventDone, nil)
 	case StateFailed:
 		s.failed.Add(1)
+		j.events.close(EventFailed, errorData(errMsg))
 	case StateCanceled:
 		s.canceled.Add(1)
+		j.events.close(EventCanceled, errorData(errMsg))
 	}
 	s.retainLocked(j)
 	s.cond.Broadcast() // wake Drain waiters watching for busy == 0
@@ -409,7 +419,15 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 
 		s.queueWait.Observe(uint64(j.started.Sub(j.created).Microseconds()))
-		result, err := s.runIsolated(ctx, j.spec)
+		// The reporter appends to the job's event log under the log's own
+		// lock — never the scheduler's — so a simulation deep in its hot
+		// loop can report without contending with the job table. Appends
+		// after the terminal event (an abandoned timed-out run still holds
+		// the reporter) are dropped by the sealed log.
+		rep := progress.Func(func(sn progress.Snapshot) {
+			j.events.append(EventProgress, progressData(sn))
+		})
+		result, err := s.runIsolated(ctx, j.spec, rep)
 		cancel()
 
 		s.mu.Lock()
@@ -485,7 +503,7 @@ func (s *Scheduler) scheduleRetry(j *job, delay time.Duration) {
 // have to wait for a non-preemptible simulation: on ctx.Done the worker
 // abandons the run (the orphaned goroutine's result is dropped on the
 // buffered channel).
-func (s *Scheduler) runIsolated(ctx context.Context, spec JobSpec) ([]byte, error) {
+func (s *Scheduler) runIsolated(ctx context.Context, spec JobSpec, rep progress.Reporter) ([]byte, error) {
 	type outcome struct {
 		result []byte
 		err    error
@@ -502,7 +520,7 @@ func (s *Scheduler) runIsolated(ctx context.Context, spec JobSpec) ([]byte, erro
 				ch <- outcome{nil, fmt.Errorf("job panicked: %v", r)}
 			}
 		}()
-		result, err := s.cfg.Runner(ctx, spec)
+		result, err := s.cfg.Runner(ctx, spec, rep)
 		ch <- outcome{result, err}
 	}()
 	select {
@@ -511,6 +529,18 @@ func (s *Scheduler) runIsolated(ctx context.Context, spec JobSpec) ([]byte, erro
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// Events returns the job's event log for tailing. The log outlives the
+// job's terminal transition, so finished jobs replay their full stream.
+func (s *Scheduler) Events(id string) (*eventLog, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.events, nil
 }
 
 // Health is the scheduler's live occupancy reading.

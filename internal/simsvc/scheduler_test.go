@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"mallacc/internal/progress"
 	"mallacc/internal/retry"
 )
 
@@ -42,7 +43,7 @@ func newBlockingRunner() *blockingRunner {
 	return &blockingRunner{started: make(chan string, 64), release: make(chan struct{})}
 }
 
-func (b *blockingRunner) run(ctx context.Context, spec JobSpec) ([]byte, error) {
+func (b *blockingRunner) run(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) {
 	b.started <- spec.Key()
 	select {
 	case <-b.release:
@@ -54,7 +55,7 @@ func (b *blockingRunner) run(ctx context.Context, spec JobSpec) ([]byte, error) 
 
 func TestSchedulerRunsJobs(t *testing.T) {
 	var n atomic.Int32
-	s := NewScheduler(SchedulerConfig{Workers: 2, Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, Runner: func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) {
 		n.Add(1)
 		return []byte(spec.Key()), nil
 	}})
@@ -197,7 +198,7 @@ func TestJobTimeout(t *testing.T) {
 
 func TestWorkerPanicIsolation(t *testing.T) {
 	var calls atomic.Int32
-	s := NewScheduler(SchedulerConfig{Workers: 1, Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Runner: func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) {
 		if calls.Add(1) == 1 {
 			panic("boom: simulated bug")
 		}
@@ -232,7 +233,7 @@ func TestWorkerPanicIsolation(t *testing.T) {
 // panics with the cancellation sentinel yields a canceled job, not a
 // failed one, and no panic is counted.
 func TestCancelSentinelPanic(t *testing.T) {
-	s := NewScheduler(SchedulerConfig{Workers: 1, Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Runner: func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) {
 		panic(errRunCanceled)
 	}})
 	st, _ := s.Enqueue(testSpec(t, 0), "k0")
@@ -318,7 +319,7 @@ func TestDrainDeadlineForceCancels(t *testing.T) {
 // give the race detector surface area.
 func TestConcurrentSubmitters(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 4, QueueHighWater: 1024,
-		Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) { return []byte("ok"), nil }})
+		Runner: func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) { return []byte("ok"), nil }})
 	var wg sync.WaitGroup
 	var done atomic.Int32
 	for g := 0; g < 8; g++ {
@@ -347,7 +348,7 @@ func TestConcurrentSubmitters(t *testing.T) {
 
 func TestUnknownJob(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 1,
-		Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) { return nil, nil }})
+		Runner: func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) { return nil, nil }})
 	defer s.Drain(watchdog(t))
 	if _, err := s.Job("nope"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Job: %v", err)
@@ -364,7 +365,7 @@ func TestUnknownJob(t *testing.T) {
 // then succeeds.
 func flakyRunner(failures int, result []byte) (Runner, *atomic.Int32) {
 	var calls atomic.Int32
-	return func(ctx context.Context, spec JobSpec) ([]byte, error) {
+	return func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) {
 		if int(calls.Add(1)) <= failures {
 			return nil, retry.Transient(errors.New("flaky: try again"))
 		}
@@ -440,7 +441,7 @@ func TestRetryPermanentIsFinal(t *testing.T) {
 	var calls atomic.Int32
 	s := NewScheduler(SchedulerConfig{
 		Workers: 1, MaxAttempts: 3, Backoff: fastBackoff(),
-		Runner: func(ctx context.Context, spec JobSpec) ([]byte, error) {
+		Runner: func(ctx context.Context, spec JobSpec, _ progress.Reporter) ([]byte, error) {
 			calls.Add(1)
 			return nil, errors.New("unknown experiment: deterministic, retrying is futile")
 		},

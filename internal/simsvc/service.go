@@ -12,6 +12,7 @@ import (
 	"mallacc/internal/faults"
 	"mallacc/internal/harness"
 	"mallacc/internal/multicore"
+	"mallacc/internal/progress"
 	"mallacc/internal/retry"
 	"mallacc/internal/telemetry"
 	"mallacc/internal/workload"
@@ -40,6 +41,17 @@ type Config struct {
 	// Registry receives the simsvc.* metrics; a fresh one is created when
 	// nil.
 	Registry *telemetry.Registry
+	// TraceDir, when set, persists recorded traces to TraceDir/<key>.trace;
+	// empty keeps the trace store memory-only.
+	TraceDir string
+	// ProgressEvery is the progress-event cadence in simulated cycles
+	// (default progress.DefaultEvery). Cadence is on the deterministic
+	// simulated clock, so a job's event stream is a pure function of its
+	// spec.
+	ProgressEvery uint64
+	// SSEHeartbeat is the idle keep-alive interval on event streams
+	// (default 15s).
+	SSEHeartbeat time.Duration
 }
 
 // ErrBreakerOpen rejects uncached submissions while the circuit breaker
@@ -59,6 +71,11 @@ type Service struct {
 	cache   *Cache
 	sched   *Scheduler
 	breaker *Breaker
+	traces  *TraceStore
+
+	progressEvery uint64
+	sseHeartbeat  time.Duration
+	sseStreams    atomic.Uint64
 
 	// Run-level memoization: experiments with overlapping grids (fig13 and
 	// fig14 share every run; fig17's sweep revisits the headline points)
@@ -81,10 +98,20 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	traces, err := NewTraceStore(cfg.TraceDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = DefaultSSEHeartbeat
+	}
 	s := &Service{
 		reg:            reg,
 		cache:          cache,
 		breaker:        NewBreaker(cfg.Breaker),
+		traces:         traces,
+		progressEvery:  cfg.ProgressEvery,
+		sseHeartbeat:   cfg.SSEHeartbeat,
 		runResults:     map[string]*harness.Result{},
 		clusterResults: map[string]*multicore.Result{},
 	}
@@ -100,8 +127,10 @@ func New(cfg Config) (*Service, error) {
 	s.cache.RegisterMetrics(reg)
 	s.sched.RegisterMetrics(reg)
 	s.breaker.RegisterMetrics(reg)
+	s.traces.RegisterMetrics(reg)
 	reg.Counter("simsvc.runcache.hits", s.runHits.Load)
 	reg.Counter("simsvc.runcache.misses", s.runMisses.Load)
+	reg.Counter("simsvc.sse.streams", s.sseStreams.Load)
 	return s, nil
 }
 
@@ -138,6 +167,12 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 // Breaker exposes the service's circuit breaker (health checks and tests).
 func (s *Service) Breaker() *Breaker { return s.breaker }
 
+// Traces exposes the service's trace store (record endpoints and tests).
+func (s *Service) Traces() *TraceStore { return s.traces }
+
+// Events returns a job's event log for tailing (see Scheduler.Events).
+func (s *Service) Events(id string) (*eventLog, error) { return s.sched.Events(id) }
+
 // Job returns a job's current status.
 func (s *Service) Job(id string) (JobStatus, error) { return s.sched.Job(id) }
 
@@ -157,11 +192,11 @@ func (s *Service) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
 
 // execute is the scheduler's Runner: it simulates the spec, serializes the
 // report, and stores it under the job's content address.
-func (s *Service) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
+func (s *Service) execute(ctx context.Context, spec JobSpec, prog progress.Reporter) ([]byte, error) {
 	if err := faults.Inject(faults.PointExec); err != nil {
 		return nil, err
 	}
-	rep, err := s.buildReport(ctx, spec)
+	rep, err := s.buildReport(ctx, spec, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -173,13 +208,49 @@ func (s *Service) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
 	return b, nil
 }
 
-// buildReport runs the simulation behind a canonical spec.
-func (s *Service) buildReport(ctx context.Context, spec JobSpec) (*harness.Report, error) {
+// resolveWorkload maps a spec's workload name to a runnable generator:
+// either a stock workload or a recorded trace fetched from the trace store.
+// A trace key the store does not hold is a permanent error — retrying
+// cannot make a missing artifact appear.
+func (s *Service) resolveWorkload(name string) (workload.Workload, error) {
+	if key, ok := ParseTraceKey(name); ok {
+		tr, found := s.traces.Get(key)
+		if !found {
+			return nil, fmt.Errorf("trace %s not found in trace store", key)
+		}
+		return tr, nil
+	}
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// buildReport runs the simulation behind a canonical spec. prog receives
+// the job's progress snapshots; run/cluster jobs report straight from the
+// simulator's deterministic clock, experiment jobs report one cumulative
+// snapshot per completed inner run.
+func (s *Service) buildReport(ctx context.Context, spec JobSpec, prog progress.Reporter) (*harness.Report, error) {
 	switch spec.Kind {
 	case KindRun:
-		return harness.ReportForRun(s.cachedRun(spec.runOptions()), spec.Metrics), nil
+		w, err := s.resolveWorkload(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		opt := spec.runOptions(w)
+		opt.Progress = prog
+		opt.ProgressEvery = s.progressEvery
+		return harness.ReportForRun(s.cachedRun(opt), spec.Metrics), nil
 	case KindCluster:
-		return harness.ReportForCluster(s.cachedCluster(spec.clusterConfig()), spec.Metrics), nil
+		w, err := s.resolveWorkload(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		cfg := spec.clusterConfig(w)
+		cfg.Progress = prog
+		cfg.ProgressEvery = s.progressEvery
+		return harness.ReportForCluster(s.cachedCluster(cfg), spec.Metrics), nil
 	case KindExperiment:
 		exp, ok := harness.ByID(spec.Experiment)
 		if !ok {
@@ -188,6 +259,7 @@ func (s *Service) buildReport(ctx context.Context, spec JobSpec) (*harness.Repor
 		// The hooks below abort at the next run boundary once the job's
 		// context dies: experiments are long chains of runs, and the
 		// sentinel panic is recovered by the worker's isolation goroutine.
+		agg := &experimentProgress{rep: prog}
 		return exp.Run(harness.ExpOptions{
 			Calls:   spec.Calls,
 			Seeds:   spec.Seeds,
@@ -196,16 +268,57 @@ func (s *Service) buildReport(ctx context.Context, spec JobSpec) (*harness.Repor
 			Cores:   spec.Cores,
 			Submit: func(opt harness.Options) *harness.Result {
 				abortIfDone(ctx)
-				return s.cachedRun(opt)
+				r := s.cachedRun(opt)
+				agg.addRun(r)
+				return r
 			},
 			SubmitCluster: func(cfg multicore.Config) *multicore.Result {
 				abortIfDone(ctx)
-				return s.cachedCluster(cfg)
+				r := s.cachedCluster(cfg)
+				agg.addCluster(r)
+				return r
 			},
 		}), nil
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
 	}
+}
+
+// experimentProgress turns an experiment's inner-run completions into one
+// cumulative progress event each. Experiments drive their runs serially,
+// but the mutex keeps the accounting safe if one ever fans out.
+type experimentProgress struct {
+	rep progress.Reporter
+
+	mu     sync.Mutex
+	track  progress.Snapshot
+	cycles uint64
+}
+
+func (e *experimentProgress) addRun(r *harness.Result) {
+	e.add(r.TotalCycles, r.CPU.Uops, r.MallocCalls, r.FreeCalls)
+}
+
+func (e *experimentProgress) addCluster(r *multicore.Result) {
+	// multicore.Result keeps no machine-wide uop aggregate; instructions
+	// stay at the runs' contribution.
+	e.add(r.TotalCycles, 0, r.MallocCalls, r.FreeCalls)
+}
+
+func (e *experimentProgress) add(cycles, uops, mallocs, frees uint64) {
+	if e.rep == nil {
+		return
+	}
+	e.mu.Lock()
+	e.cycles += cycles
+	e.track.Cycles = e.cycles
+	e.track.Instructions += uops
+	e.track.MallocCalls += mallocs
+	e.track.FreeCalls += frees
+	sn := e.track
+	e.track.Seq++
+	e.mu.Unlock()
+	e.rep.Report(sn)
 }
 
 // abortIfDone panics with the cancellation sentinel once the job context
@@ -262,9 +375,9 @@ func (s *Service) cachedCluster(cfg multicore.Config) *multicore.Result {
 	return r
 }
 
-// runOptions lowers a canonical run spec to harness options.
-func (s JobSpec) runOptions() harness.Options {
-	w, _ := workload.ByName(s.Workload)
+// runOptions lowers a canonical run spec to harness options, with the
+// spec's workload already resolved (stock generator or recorded trace).
+func (s JobSpec) runOptions(w workload.Workload) harness.Options {
 	return harness.Options{
 		Workload:  w,
 		Variant:   runVariantOf(s.Variant),
@@ -276,8 +389,7 @@ func (s JobSpec) runOptions() harness.Options {
 
 // clusterConfig lowers a canonical cluster spec to a multicore config,
 // splitting the call budget across cores the way mallacc-sim does.
-func (s JobSpec) clusterConfig() multicore.Config {
-	w, _ := workload.ByName(s.Workload)
+func (s JobSpec) clusterConfig(w workload.Workload) multicore.Config {
 	perCore := s.Calls / s.Cores
 	if perCore < 1 {
 		perCore = 1

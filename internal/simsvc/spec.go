@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"mallacc/internal/harness"
 	"mallacc/internal/workload"
@@ -222,7 +223,14 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		if c.Workload == "" {
 			return fail("%s jobs need a workload", c.Kind)
 		}
-		if _, ok := workload.ByName(c.Workload); !ok {
+		if strings.HasPrefix(c.Workload, TraceWorkloadPrefix) {
+			// "trace:<key>" replays a recorded trace; validation is
+			// syntactic here — the service resolves the key against its
+			// trace store at run time.
+			if _, ok := ParseTraceKey(c.Workload); !ok {
+				return fail("malformed trace workload %q (want trace:<64-hex-key>)", c.Workload)
+			}
+		} else if !workload.Known(c.Workload) {
 			return fail("unknown workload %q", c.Workload)
 		}
 		if c.Variant == "" {

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintOpenMetrics validates a text exposition document against the subset
+// of the OpenMetrics grammar this package emits, strictly enough to catch
+// real encoder regressions:
+//
+//   - every sample line parses as <name>[{labels}] <value>;
+//   - metric and label names match the exposition alphabet;
+//   - every sample belongs to the family declared by the preceding # TYPE
+//     line (samples of one family are contiguous), with the suffix its type
+//     allows (counter: _total; gauge: none; histogram: _bucket/_sum/_count);
+//   - no family is declared twice;
+//   - counter and histogram sample values are non-negative;
+//   - histogram buckets have strictly increasing le, nondecreasing
+//     cumulative counts, end in le="+Inf", and agree with _count;
+//   - the document ends with exactly one "# EOF" line.
+//
+// The scrape smoke test pipes live /v1/metrics output through this via
+// scripts/promlint.
+func LintOpenMetrics(doc []byte) error {
+	lines := strings.Split(string(doc), "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "" || lines[len(lines)-2] != "# EOF" {
+		return fmt.Errorf("document must end with a single %q line", "# EOF")
+	}
+	lines = lines[:len(lines)-2]
+
+	types := map[string]string{} // family -> counter|gauge|histogram
+	var fam, famType string
+	h := newHistCheck()
+	closeFamily := func() error {
+		if famType == "histogram" {
+			if err := h.finish(fam); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i, line := range lines {
+		lineNo := i + 1
+		switch {
+		case line == "":
+			return fmt.Errorf("line %d: blank line", lineNo)
+		case line == "# EOF":
+			return fmt.Errorf("line %d: %q before end of document", lineNo, line)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+			}
+			if err := closeFamily(); err != nil {
+				return err
+			}
+			types[name] = typ
+			fam, famType = name, typ
+			h = newHistCheck()
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("line %d: unknown comment %q", lineNo, line)
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if fam == "" {
+				return fmt.Errorf("line %d: sample %q before any TYPE declaration", lineNo, name)
+			}
+			if err := checkSample(famType, fam, name, labels, value, h); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+	}
+	return closeFamily()
+}
+
+// checkSample validates one sample against its family's type.
+func checkSample(famType, fam, name, labels string, value float64, h *histCheck) error {
+	switch famType {
+	case "counter":
+		if name != fam+"_total" {
+			return fmt.Errorf("sample %q does not belong to counter family %q (want %s_total)", name, fam, fam)
+		}
+		if value < 0 {
+			return fmt.Errorf("counter %q has negative value %g", name, value)
+		}
+	case "gauge":
+		if name != fam {
+			return fmt.Errorf("sample %q does not belong to gauge family %q", name, fam)
+		}
+	case "histogram":
+		if value < 0 {
+			return fmt.Errorf("histogram sample %q has negative value %g", name, value)
+		}
+		switch name {
+		case fam + "_bucket":
+			le, err := parseLE(labels)
+			if err != nil {
+				return fmt.Errorf("bucket of %q: %v", fam, err)
+			}
+			return h.bucket(fam, le, value)
+		case fam + "_sum":
+			h.sawSum = true
+		case fam + "_count":
+			h.sawCount = true
+			h.count = value
+		default:
+			return fmt.Errorf("sample %q does not belong to histogram family %q", name, fam)
+		}
+	}
+	return nil
+}
+
+// histCheck accumulates one histogram family's bucket series.
+type histCheck struct {
+	prevLE, prevCount float64
+	infCount          float64
+	buckets           int
+	sawInf            bool
+	sawSum, sawCount  bool
+	count             float64
+}
+
+func newHistCheck() *histCheck {
+	return &histCheck{prevLE: math.Inf(-1), prevCount: -1}
+}
+
+func (h *histCheck) bucket(fam string, le, count float64) error {
+	if h.sawInf {
+		return fmt.Errorf("family %q has buckets after le=\"+Inf\"", fam)
+	}
+	if le <= h.prevLE {
+		return fmt.Errorf("family %q bucket le %g not increasing (previous %g)", fam, le, h.prevLE)
+	}
+	if count < h.prevCount {
+		return fmt.Errorf("family %q bucket counts not monotone: %g after %g", fam, count, h.prevCount)
+	}
+	h.prevLE, h.prevCount = le, count
+	h.buckets++
+	if math.IsInf(le, 1) {
+		h.sawInf = true
+		h.infCount = count
+	}
+	return nil
+}
+
+func (h *histCheck) finish(fam string) error {
+	if h.buckets == 0 {
+		return fmt.Errorf("histogram family %q has no buckets", fam)
+	}
+	if !h.sawInf {
+		return fmt.Errorf("histogram family %q is missing the le=\"+Inf\" bucket", fam)
+	}
+	if !h.sawSum || !h.sawCount {
+		return fmt.Errorf("histogram family %q is missing _sum or _count", fam)
+	}
+	if h.count != h.infCount {
+		return fmt.Errorf("histogram family %q: _count %g != +Inf bucket %g", fam, h.count, h.infCount)
+	}
+	return nil
+}
+
+// parseSample splits a sample line into name, raw label body (without
+// braces, "" when absent) and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimPrefix(rest[j+1:], " ")
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("sample line %q has no value", line)
+		}
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("invalid sample value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// parseLE extracts the le label value from a bucket's label body.
+func parseLE(labels string) (float64, error) {
+	const pre = `le="`
+	if !strings.HasPrefix(labels, pre) || !strings.HasSuffix(labels, `"`) {
+		return 0, fmt.Errorf("bucket labels %q are not a single le", labels)
+	}
+	v := labels[len(pre) : len(labels)-1]
+	if v == "+Inf" {
+		return math.Inf(1), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid le %q", v)
+	}
+	return f, nil
+}
+
+// validName reports whether s is a legal exposition metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

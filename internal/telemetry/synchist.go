@@ -38,6 +38,7 @@ func (s *SyncHist) metric(name string) Metric {
 		m.P50 = s.h.MedianCycles()
 		m.P99 = s.h.PercentileCycles(99)
 	}
+	m.Buckets = cumulativeBuckets(s.h.Buckets(), s.h.N())
 	return m
 }
 

@@ -18,6 +18,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -68,6 +69,35 @@ type Metric struct {
 	Mean  float64 `json:"mean,omitempty"`
 	P50   float64 `json:"p50,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
+
+	// Exposition-only fields, excluded from the compact JSON form so the
+	// pinned snapshot digests stay byte-identical: Help is the registered
+	// description, Buckets the cumulative distribution (KindHistogram only,
+	// always ending in the +Inf bucket).
+	Help    string       `json:"-"`
+	Buckets []HistBucket `json:"-"`
+}
+
+// HistBucket is one cumulative histogram bucket for text exposition: Count
+// is the number of observations with value <= LE. LE is +Inf on the final
+// bucket.
+type HistBucket struct {
+	LE    float64
+	Count uint64
+}
+
+// cumulativeBuckets converts the non-cumulative stats buckets into the
+// cumulative form exposition needs. Durations are integers, so the
+// inclusive upper bound of a [Lo, Hi) range is Hi-1. The +Inf bucket always
+// closes the list, carrying the total count.
+func cumulativeBuckets(bs []stats.Bucket, n uint64) []HistBucket {
+	out := make([]HistBucket, 0, len(bs)+1)
+	var acc uint64
+	for _, b := range bs {
+		acc += b.Count
+		out = append(out, HistBucket{LE: float64(b.Hi - 1), Count: acc})
+	}
+	return append(out, HistBucket{LE: math.Inf(1), Count: n})
 }
 
 // Snapshot is an immutable point-in-time reading of a Registry, sorted by
@@ -237,6 +267,7 @@ type Registry struct {
 	gauges    map[string]func() float64
 	hists     map[string]*stats.DurationHist
 	synchists map[string]*SyncHist
+	helps     map[string]string
 
 	parent *Registry // non-nil on prefixed views
 	prefix string
@@ -249,7 +280,23 @@ func NewRegistry() *Registry {
 		gauges:    map[string]func() float64{},
 		hists:     map[string]*stats.DurationHist{},
 		synchists: map[string]*SyncHist{},
+		helps:     map[string]string{},
 	}
+}
+
+// Describe attaches a help string to a metric name. It may be called before
+// or after the metric registers (metadata and sources often live in
+// different components); snapshots join the two by name. Prefixed views
+// apply their prefix, so component RegisterMetrics methods can describe
+// their own metrics unchanged.
+func (r *Registry) Describe(name, help string) {
+	root, pre := r.rootAndPrefix()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	if root.helps == nil {
+		root.helps = map[string]string{}
+	}
+	root.helps[pre+name] = help
 }
 
 // Sub returns a prefixed view of r: every metric registered through the
@@ -351,7 +398,11 @@ func (r *Registry) Snapshot() Snapshot {
 			m.P50 = h.MedianCycles()
 			m.P99 = h.PercentileCycles(99)
 		}
+		m.Buckets = cumulativeBuckets(h.Buckets(), h.N())
 		ms = append(ms, m)
+	}
+	for i := range ms {
+		ms[i].Help = r.helps[ms[i].Name]
 	}
 	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
 	return Snapshot{Metrics: ms}

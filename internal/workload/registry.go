@@ -1,5 +1,7 @@
 package workload
 
+import "sync"
+
 // Footprinter is implemented by workloads that model an application
 // working set; the driver sizes its between-calls cache touches from it.
 type Footprinter interface {
@@ -51,12 +53,42 @@ func All() []Workload {
 	return append(append(Micro(), Macro()...), NewServerRequests())
 }
 
-// ByName finds a stock workload by its exact name.
+// ByName finds a stock workload by its exact name, constructing a fresh
+// instance (generators carry per-run state, so they are never shared).
 func ByName(name string) (Workload, bool) {
+	if !Known(name) {
+		return nil, false
+	}
 	for _, w := range All() {
 		if w.Name() == name {
 			return w, true
 		}
 	}
 	return nil, false
+}
+
+// stockNames is the cached name set of the stock workloads. Names are
+// fixed at compile time, so one construction of the generator list serves
+// every lookup — hot paths (spec canonicalization, run-key hashing) call
+// Known per request and must not rebuild ~15 generators each time.
+var stockNames = sync.OnceValue(func() map[string]bool {
+	set := map[string]bool{}
+	for _, w := range All() {
+		set[w.Name()] = true
+	}
+	return set
+})
+
+// Known reports whether name is a stock workload, without constructing any
+// generators.
+func Known(name string) bool { return stockNames()[name] }
+
+// Names returns every stock workload name in registry order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
 }

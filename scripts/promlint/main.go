@@ -1,0 +1,59 @@
+// Command promlint validates an OpenMetrics text exposition document read
+// from stdin against the grammar subset the simulator emits (see
+// telemetry.LintOpenMetrics): TYPE-declared contiguous families, type-correct
+// sample suffixes, monotone histogram buckets, one trailing "# EOF".
+//
+// The smoke scripts pipe live /v1/metrics scrapes through it:
+//
+//	curl -fsS "$base/v1/metrics?format=openmetrics" | \
+//	    go run ./scripts/promlint -require mallacc_simsvc_jobs_submitted
+//
+// -require names families (comma-separated, mangled form) that must appear;
+// it catches a registry metric silently dropping out of the exposition.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mallacc/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated families that must be present")
+	flag.Parse()
+
+	doc, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if err := telemetry.LintOpenMetrics(doc); err != nil {
+		fatal("%v", err)
+	}
+
+	families := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, _, ok := strings.Cut(rest, " "); ok {
+				families[name] = true
+			}
+		}
+	}
+	if *require != "" {
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam != "" && !families[fam] {
+				fatal("required family %q missing from exposition", fam)
+			}
+		}
+	}
+	fmt.Printf("promlint: OK (%d families)\n", len(families))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promlint: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -85,6 +85,13 @@ hits=$(curl -fsS "$base/v1/metrics" | jq '."simsvc.cache.hits"')
 [ "$hits" -ge 1 ] || fail "simsvc.cache.hits = $hits, want >= 1"
 echo "serve-smoke: cached resubmission byte-identical (cache hits: $hits)"
 
+# The OpenMetrics exposition of the same registry must lint clean and
+# carry the scheduler's core family.
+curl -fsS "$base/v1/metrics?format=openmetrics" \
+    | go run ./scripts/promlint -require mallacc_simsvc_jobs_submitted \
+    || fail "openmetrics exposition failed promlint"
+echo "serve-smoke: openmetrics exposition lints clean"
+
 # --- 4. SIGTERM with a job in flight drains cleanly ---------------------
 long=$(curl -fsS -X POST -d '{"experiment":"fig13"}' "$base/v1/jobs") \
     || fail "long submit failed"
