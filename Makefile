@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke clean
+.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos clean
 
 all: build vet test
 
@@ -57,6 +57,20 @@ chaos-smoke:
 # stream (>= 2 progress events then done).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Fleet smoke test: three sharded mallacc-serve nodes behind mallacc-coord,
+# driven by mallacc-ctl; asserts owner routing, byte-identical reports vs a
+# standalone node, cache hits, failover recompute, peer cache fill after a
+# cold restart, drain/undrain, and a clean fleet.* OpenMetrics scrape.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
+# Fleet chaos test: the same grid sweep on a clean fleet and on a fleet
+# with seeded faults on every hop plus a node kill -9'd mid-sweep; the two
+# content-addressed report sets must be byte-identical. CHAOS_SEED
+# overrides the schedule.
+fleet-chaos:
+	./scripts/fleet_chaos.sh
 
 clean:
 	$(GO) clean ./...

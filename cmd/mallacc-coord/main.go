@@ -1,0 +1,106 @@
+// Command mallacc-coord fronts a fleet of mallacc-serve nodes. It speaks
+// the same /v1/jobs API as a single node, so every existing client works
+// unchanged; behind it, each job is routed to its owning shard by
+// consistent hashing on the job key, with bounded-load overflow, failover
+// past dead or open nodes, per-node circuit breakers fed by health probes
+// and proxy outcomes, and SSE progress fan-out.
+//
+// Usage:
+//
+//	mallacc-coord -nodes n1=127.0.0.1:7071,n2=127.0.0.1:7072,n3=127.0.0.1:7073
+//	mallacc-coord -nodes ... -addr :7070 -probe-every 500ms
+//
+// API (see also mallacc-serve):
+//
+//	curl -s localhost:7070/v1/jobs -d '{"experiment":"fig13"}'   # job id "n2.j00000001"
+//	curl -s localhost:7070/v1/jobs/n2.j00000001
+//	curl -sN localhost:7070/v1/jobs/n2.j00000001/events
+//	curl -s localhost:7070/v1/healthz                            # membership view
+//	curl -s "localhost:7070/v1/metrics?format=openmetrics"       # fleet.* telemetry
+//	curl -s -X POST localhost:7070/v1/fleet/n2/drain
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mallacc/internal/faults"
+	"mallacc/internal/fleet"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		nodesSpec  = flag.String("nodes", "", "fleet membership \"name=url,name=url,...\" (required)")
+		replicas   = flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = default; must match the nodes' -fleet rings)")
+		probeEvery = flag.Duration("probe-every", fleet.DefaultProbeEvery, "node health-probe cadence")
+		loadFactor = flag.Float64("load-factor", fleet.DefaultLoadFactor, "bounded-load c: a node past c x mean load overflows to the next candidate")
+		faultSpec  = flag.String("faults", "", "fault-injection spec for chaos testing (e.g. \"seed=7;fleet.proxy,prob=0.2\"); overrides $"+faults.EnvVar)
+	)
+	flag.Parse()
+
+	faultReg, err := faults.ActivateFromSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *nodesSpec == "" {
+		fmt.Fprintln(os.Stderr, "mallacc-coord: -nodes is required")
+		os.Exit(2)
+	}
+	nodes, err := fleet.ParseNodes(*nodesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Nodes:      nodes,
+		Replicas:   *replicas,
+		ProbeEvery: *probeEvery,
+		LoadFactor: *loadFactor,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+	if faultReg != nil {
+		faultReg.RegisterMetrics(coord.Registry())
+		fmt.Fprintf(os.Stderr, "mallacc-coord: FAULT INJECTION ACTIVE at %v\n", faultReg.Points())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mallacc-coord listening on http://%s (%d nodes)\n", ln.Addr(), len(nodes))
+
+	srv := &http.Server{Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mallacc-coord: %v, shutting down\n", s)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The coordinator holds no job state — shutdown just stops accepting
+	// and lets in-flight proxied requests finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	fmt.Fprintln(os.Stderr, "mallacc-coord: stopped")
+}

@@ -10,6 +10,8 @@
 //	mallacc-serve -cache-dir results/cache # persist reports across restarts
 //	mallacc-serve -digest                  # run the pinned cache digest and exit
 //	mallacc-serve -pprof                   # also expose /debug/pprof/ (off by default)
+//	mallacc-serve -fleet n1=:7071,n2=:7072 -self n1
+//	                                       # fleet member: peer cache fill on miss
 //
 // API:
 //
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"mallacc/internal/faults"
+	"mallacc/internal/fleet"
 	"mallacc/internal/simsvc"
 )
 
@@ -57,6 +60,8 @@ func main() {
 		digest    = flag.Bool("digest", false, "run the deterministic cache digest to stdout and exit")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; leave off in shared deployments)")
 		faultSpec = flag.String("faults", "", "fault-injection spec for chaos testing: JSON, @file, or compact form\n(e.g. \"seed=7;simsvc.exec,prob=0.2\"); overrides $"+faults.EnvVar)
+		fleetSpec = flag.String("fleet", "", "fleet membership \"name=url,name=url,...\" — enables peer cache fill\n(ask the job key's ring candidates before simulating); requires -self")
+		selfName  = flag.String("self", "", "this node's name in the -fleet spec")
 	)
 	flag.Parse()
 
@@ -74,7 +79,7 @@ func main() {
 		return
 	}
 
-	svc, err := simsvc.New(simsvc.Config{
+	cfg := simsvc.Config{
 		Workers:        *workers,
 		QueueHighWater: *queue,
 		JobTimeout:     *timeout,
@@ -83,10 +88,33 @@ func main() {
 		MaxAttempts:    *attempts,
 		TraceDir:       *traceDir,
 		ProgressEvery:  *progEvery,
-	})
+	}
+	var filler *fleet.PeerFiller
+	if *fleetSpec != "" || *selfName != "" {
+		if *fleetSpec == "" || *selfName == "" {
+			fmt.Fprintln(os.Stderr, "mallacc-serve: -fleet and -self must be set together")
+			os.Exit(2)
+		}
+		nodes, err := fleet.ParseNodes(*fleetSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		filler, err = fleet.NewPeerFiller(*selfName, nodes, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.PeerFill = filler.Fill
+	}
+	svc, err := simsvc.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if filler != nil {
+		filler.RegisterMetrics(svc.Registry())
+		fmt.Fprintf(os.Stderr, "mallacc-serve: fleet peer fill enabled (self=%s)\n", *selfName)
 	}
 	if faultReg != nil {
 		faultReg.RegisterMetrics(svc.Registry())

@@ -49,6 +49,13 @@ const (
 	// PointRemoteHTTP gates the mallacc-sim remote client's outbound
 	// requests; injections look like transport failures.
 	PointRemoteHTTP = "remote.http"
+	// PointFleetProxy gates the coordinator's outbound hops to serve
+	// nodes; an injected error looks like a node transport failure and
+	// exercises failover and the per-node breaker.
+	PointFleetProxy = "fleet.proxy"
+	// PointPeerFill gates a node's outbound peer cache-fill requests; an
+	// injected error degrades the fill to a miss (the node recomputes).
+	PointPeerFill = "fleet.fill"
 )
 
 // Fault modes.

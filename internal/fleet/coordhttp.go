@@ -1,0 +1,329 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"mallacc/internal/faults"
+	"mallacc/internal/simsvc"
+	"mallacc/internal/telemetry"
+)
+
+// maxProxyBytes bounds request and relayed response bodies.
+const maxProxyBytes = 16 << 20
+
+// Handler returns the coordinator's HTTP API. It is the node API verbatim —
+// existing clients point at the coordinator and work unchanged — plus the
+// fleet control surface:
+//
+//	POST   /v1/jobs      route a JobSpec to its owning shard (consistent
+//	                     hash on the job key) with bounded-load overflow
+//	                     and failover; job ids come back "<node>.<id>"
+//	GET    /v1/jobs/{id} proxied status from the id's node
+//	GET    /v1/jobs/{id}/events
+//	                     SSE progress fan-out through the coordinator
+//	DELETE /v1/jobs/{id} proxied cancel
+//	GET    /v1/healthz   aggregate: per-node health, breaker states, drain
+//	                     flags, ring ownership; ok while >= 1 node is live
+//	GET    /v1/metrics   fleet.* telemetry; JSON or OpenMetrics like a node
+//	POST   /v1/fleet/{node}/drain
+//	POST   /v1/fleet/{node}/undrain
+//	                     operator drain: stop (resp. resume) routing new
+//	                     work to the node; running jobs stay reachable
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
+	mux.HandleFunc("POST /v1/fleet/{node}/drain", c.drainHandler(true))
+	mux.HandleFunc("POST /v1/fleet/{node}/undrain", c.drainHandler(false))
+	return mux
+}
+
+// writeJSON / writeError mirror the node-side conventions: every body is
+// JSON, every response is uncacheable live state, every non-2xx carries
+// {"error": ...}.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// proxy performs one coordinator→node hop through the fleet.proxy fault
+// point, so the chaos harness can fail hops without touching the nodes.
+func (c *Coordinator) proxy(client *http.Client, r *http.Request, ns *nodeState, method, path string, body []byte) (*http.Response, error) {
+	if err := faults.Inject(faults.PointFleetProxy); err != nil {
+		return nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, ns.node.URL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return client.Do(req)
+}
+
+// fleetJobStatus is a node's JobStatus plus the fleet routing fields: which
+// node holds the job, and the coordinator-scoped id "<node>.<id>".
+type fleetJobStatus struct {
+	simsvc.JobStatus
+	Node string `json:"node"`
+}
+
+// relayJobStatus decodes a node's job document, prefixes the id with the
+// node name, and re-emits it with the upstream status code. The Report
+// field is json.RawMessage all the way through, so report bytes survive the
+// relay untouched — that is what makes coordinator and single-node runs
+// byte-comparable.
+func (c *Coordinator) relayJobStatus(w http.ResponseWriter, resp *http.Response, node string) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: read node %s response: %v", node, err))
+		return
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// Error documents pass through untouched — they already have the
+		// shared {"error": ...} shape.
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return
+	}
+	var st fleetJobStatus
+	if err := json.Unmarshal(body, &st.JobStatus); err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: decode node %s job document: %v", node, err))
+		return
+	}
+	st.Node = node
+	st.ID = JoinJobID(node, st.ID)
+	writeJSON(w, resp.StatusCode, st)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("read body: "+err.Error()))
+		return
+	}
+	// Decode and canonicalize here: a bad spec is rejected without burning
+	// a network hop, and the canonical form hashes to the same key on the
+	// node, so ownership and the node's cache agree by construction.
+	spec, err := simsvc.DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canonBody, err := json.Marshal(canon)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, ns := range c.candidates(canon.Key()) {
+		// Allow meters half-open probe slots; every Allow is paired with
+		// exactly one Record below.
+		if !ns.breaker.Allow() {
+			continue
+		}
+		resp, err := c.proxy(c.client, r, ns, http.MethodPost, "/v1/jobs", canonBody)
+		if err != nil {
+			ns.breaker.Record(simsvc.OutcomeFailure)
+			ns.markUnreachable(err)
+			c.failovers.Add(1)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// The node is alive but full — bounded-load overflow to the
+			// next candidate, no strike against the breaker.
+			drain(resp)
+			ns.breaker.Record(simsvc.OutcomeSuccess)
+			c.redirects.Add(1)
+		case resp.StatusCode >= 500:
+			// 503 draining / breaker-open / 5xx: the node cannot take the
+			// job; count it as a failure and fail over.
+			drain(resp)
+			ns.breaker.Record(simsvc.OutcomeFailure)
+			c.failovers.Add(1)
+		default:
+			ns.breaker.Record(simsvc.OutcomeSuccess)
+			ns.proxied.Add(1)
+			c.relayJobStatus(w, resp, ns.node.Name)
+			return
+		}
+	}
+	c.exhausted.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable,
+		errors.New("fleet: no node can accept the job (all draining, open, or unreachable)"))
+}
+
+// markUnreachable flips a node unhealthy on a failed proxy hop, without
+// waiting for the next probe tick.
+func (ns *nodeState) markUnreachable(err error) {
+	ns.mu.Lock()
+	ns.healthy = false
+	ns.lastErr = err.Error()
+	ns.mu.Unlock()
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxProxyBytes))
+	resp.Body.Close()
+}
+
+// routeJobID resolves a coordinator job id to its node, writing the 404
+// itself when the id or node is unknown.
+func (c *Coordinator) routeJobID(w http.ResponseWriter, id string) (*nodeState, string, bool) {
+	node, rest, ok := SplitJobID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown job %q (fleet job ids look like <node>.<id>)", id))
+		return nil, "", false
+	}
+	ns, ok := c.nodes[node]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q: no fleet node %q", id, node))
+		return nil, "", false
+	}
+	return ns, rest, true
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	ns, rest, ok := c.routeJobID(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := c.proxy(c.client, r, ns, http.MethodGet, "/v1/jobs/"+rest, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.node.Name, err))
+		return
+	}
+	c.relayJobStatus(w, resp, ns.node.Name)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ns, rest, ok := c.routeJobID(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := c.proxy(c.client, r, ns, http.MethodDelete, "/v1/jobs/"+rest, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.node.Name, err))
+		return
+	}
+	c.relayJobStatus(w, resp, ns.node.Name)
+}
+
+// handleEvents fans a node's SSE progress stream out through the
+// coordinator: bytes are copied through verbatim and flushed as they
+// arrive, so event ids and framing are exactly the node's. The upstream
+// request carries the client's context — closing the browser tab closes
+// the node-side stream too.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ns, rest, ok := c.routeJobID(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := c.proxy(c.sseClient, r, ns, http.MethodGet, "/v1/jobs/"+rest+"/events", nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.node.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.relayJobStatus(w, resp, ns.node.Name)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	c.sseOpen.Add(1)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			flusher.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Healthz())
+}
+
+// handleMetrics mirrors the node-side format negotiation so one scraper
+// config covers nodes and coordinator alike.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		format = "openmetrics"
+	}
+	switch format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, c.reg.Snapshot())
+	case "openmetrics":
+		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		w.Write(telemetry.OpenMetrics(c.reg.Snapshot()))
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown metrics format %q (want json or openmetrics)", format))
+	}
+}
+
+func (c *Coordinator) drainHandler(drain bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Drain(r.PathValue("node"), drain); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Healthz())
+	}
+}

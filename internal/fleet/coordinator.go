@@ -1,0 +1,408 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mallacc/internal/simsvc"
+	"mallacc/internal/telemetry"
+)
+
+// DefaultProbeEvery is the health-probe cadence. Two seconds keeps a dead
+// node's window of misrouted submissions short while the probe load on a
+// node stays negligible; the smoke harness turns it down to 200ms.
+const DefaultProbeEvery = 2 * time.Second
+
+// DefaultLoadFactor is the bounded-load c: a node is "over" when its load
+// (queued + busy) exceeds c times the eligible-fleet mean (plus one of
+// slack, so an idle fleet never reads as over). 1.25 is the classic
+// consistent-hashing-with-bounded-loads choice.
+const DefaultLoadFactor = 1.25
+
+// CoordinatorConfig sizes a Coordinator.
+type CoordinatorConfig struct {
+	// Nodes is the fleet membership (see ParseNodes).
+	Nodes []Node
+	// Replicas is the ring's virtual-node count (DefaultReplicas when <= 0);
+	// it must match the nodes' own PeerFiller rings.
+	Replicas int
+	// ProbeEvery is the health-probe cadence (DefaultProbeEvery when <= 0).
+	ProbeEvery time.Duration
+	// LoadFactor is the bounded-load c (DefaultLoadFactor when <= 0).
+	LoadFactor float64
+	// Breaker sizes each node's circuit breaker; zero fields take the
+	// simsvc defaults.
+	Breaker simsvc.BreakerConfig
+	// Registry receives the fleet.* metrics; a fresh one is created when nil.
+	Registry *telemetry.Registry
+	// Client performs all node HTTP; a 30s-timeout default applies when nil.
+	// SSE fan-out uses a separate untimed client (streams outlive any
+	// sensible request timeout).
+	Client *http.Client
+}
+
+// nodeState is the coordinator's live view of one member node.
+type nodeState struct {
+	node Node
+	// breaker is fed probe results and proxy outcomes; open means the
+	// coordinator drains around this node until cooldown half-opens it.
+	breaker *simsvc.Breaker
+
+	mu       sync.Mutex
+	healthy  bool
+	draining bool // operator drain via mallacc-ctl
+	health   simsvc.Health
+	lastErr  string
+	probedAt time.Time
+
+	proxied atomic.Uint64
+}
+
+// snapshot returns the mutex-guarded fields as a consistent copy.
+func (ns *nodeState) snapshot() (healthy, draining bool, h simsvc.Health, lastErr string, probedAt time.Time) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.healthy, ns.draining, ns.health, ns.lastErr, ns.probedAt
+}
+
+// load is the bounded-load measure: work the node holds right now.
+func (ns *nodeState) load() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.health.QueueDepth + ns.health.Busy
+}
+
+// Coordinator shards /v1/jobs traffic across a fleet of mallacc-serve
+// nodes by consistent hashing on the job key. It speaks the same API as a
+// single node — clients cannot tell the difference beyond the node-prefixed
+// job ids — and layers on per-node health probing, circuit breaking,
+// bounded-load overflow, failover, and SSE fan-out.
+type Coordinator struct {
+	ring       *Ring
+	nodes      map[string]*nodeState
+	order      []string // sorted node names
+	reg        *telemetry.Registry
+	client     *http.Client
+	sseClient  *http.Client
+	loadFactor float64
+	probeEvery time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	requests  atomic.Uint64 // submissions entering the router
+	failovers atomic.Uint64 // candidate skipped after transport/5xx failure
+	redirects atomic.Uint64 // candidate skipped on 429 (bounded-load overflow)
+	exhausted atomic.Uint64 // submissions that ran out of candidates (503)
+	probes    atomic.Uint64
+	probeErrs atomic.Uint64
+	sseOpen   atomic.Uint64
+}
+
+// NewCoordinator builds the coordinator and starts its probe loop. Call
+// Close to stop probing.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	ring, err := NewRing(cfg.Replicas, nodeNames(cfg.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	if cfg.LoadFactor <= 0 {
+		cfg.LoadFactor = DefaultLoadFactor
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Coordinator{
+		ring:       ring,
+		nodes:      make(map[string]*nodeState, len(cfg.Nodes)),
+		order:      nodeNames(cfg.Nodes),
+		reg:        reg,
+		client:     client,
+		sseClient:  &http.Client{},
+		loadFactor: cfg.LoadFactor,
+		probeEvery: cfg.ProbeEvery,
+		stop:       make(chan struct{}),
+	}
+	for _, n := range cfg.Nodes {
+		c.nodes[n.Name] = &nodeState{
+			node:    n,
+			breaker: simsvc.NewBreaker(cfg.Breaker),
+			// Optimistic until the first probe: a fresh coordinator must be
+			// able to route immediately, and a wrong guess just costs one
+			// failover.
+			healthy: true,
+		}
+	}
+	c.registerMetrics()
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the probe loop. In-flight proxied requests are unaffected.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Registry returns the coordinator's metric registry.
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// Ring returns the coordinator's hash ring (tests and status endpoints).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// registerMetrics exposes the fleet.* telemetry: router counters, live
+// membership, and the per-node queue depth / ownership / breaker gauges
+// the issue calls for.
+func (c *Coordinator) registerMetrics() {
+	c.reg.Counter("fleet.proxy.requests", c.requests.Load)
+	c.reg.Counter("fleet.proxy.failovers", c.failovers.Load)
+	c.reg.Counter("fleet.proxy.redirects", c.redirects.Load)
+	c.reg.Counter("fleet.proxy.exhausted", c.exhausted.Load)
+	c.reg.Counter("fleet.probes", c.probes.Load)
+	c.reg.Counter("fleet.probe.failures", c.probeErrs.Load)
+	c.reg.Counter("fleet.sse.streams", c.sseOpen.Load)
+	c.reg.Gauge("fleet.nodes.total", func() float64 { return float64(len(c.order)) })
+	c.reg.Gauge("fleet.nodes.live", func() float64 {
+		live := 0
+		for _, name := range c.order {
+			if healthy, draining, _, _, _ := c.nodes[name].snapshot(); healthy && !draining {
+				live++
+			}
+		}
+		return float64(live)
+	})
+	own := c.ring.Ownership()
+	for _, name := range c.order {
+		ns := c.nodes[name]
+		frac := own[name]
+		c.reg.Gauge("fleet.node."+name+".ownership", func() float64 { return frac })
+		c.reg.Gauge("fleet.node."+name+".queue_depth", func() float64 {
+			_, _, h, _, _ := ns.snapshot()
+			return float64(h.QueueDepth)
+		})
+		c.reg.Gauge("fleet.node."+name+".healthy", func() float64 {
+			healthy, _, _, _, _ := ns.snapshot()
+			if healthy {
+				return 1
+			}
+			return 0
+		})
+		c.reg.Gauge("fleet.node."+name+".breaker", func() float64 {
+			return float64(ns.breaker.State())
+		})
+		c.reg.Counter("fleet.node."+name+".proxied", ns.proxied.Load)
+	}
+}
+
+// probeLoop polls every node's /v1/healthz on the configured cadence. A
+// probe failure both marks the node unhealthy (instant routing effect) and
+// feeds its breaker (so recovery goes through half-open probing rather than
+// a thundering herd).
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	// Probe once immediately so the first submissions route on real data
+	// when nodes are already up.
+	c.probeAll()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, name := range c.order {
+		wg.Add(1)
+		go func(ns *nodeState) {
+			defer wg.Done()
+			c.probe(ns)
+		}(c.nodes[name])
+	}
+	wg.Wait()
+}
+
+// nodeHealthz mirrors the node-side /v1/healthz document.
+type nodeHealthz struct {
+	OK                bool    `json:"ok"`
+	Breaker           string  `json:"breaker"`
+	BreakerAgeSeconds float64 `json:"breaker_age_seconds"`
+	simsvc.Health
+}
+
+func (c *Coordinator) probe(ns *nodeState) {
+	c.probes.Add(1)
+	resp, err := c.client.Get(ns.node.URL + "/v1/healthz")
+	var doc nodeHealthz
+	if err == nil {
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("healthz status %s", resp.Status)
+		}
+	}
+	ns.mu.Lock()
+	ns.probedAt = time.Now()
+	if err != nil {
+		ns.healthy = false
+		ns.lastErr = err.Error()
+		ns.health = simsvc.Health{}
+	} else {
+		ns.healthy = true
+		ns.lastErr = ""
+		ns.health = doc.Health
+	}
+	ns.mu.Unlock()
+	if err != nil {
+		c.probeErrs.Add(1)
+		ns.breaker.Record(simsvc.OutcomeFailure)
+	} else {
+		// Only count the probe toward closing the breaker when the breaker
+		// is not healthy; a healthy node's steady stream of probe successes
+		// must not mask proxy failures inside the window.
+		if ns.breaker.State() != simsvc.BreakerHealthy {
+			ns.breaker.Record(simsvc.OutcomeSuccess)
+		}
+	}
+}
+
+// eligible reports whether a node may receive new submissions: not drained
+// by an operator or by itself, not marked dead by probes, breaker not open.
+// It is deliberately side-effect free — Allow (which meters half-open probe
+// slots) is only called at proxy time, so a candidate that ends up unused
+// never leaks a probe token.
+func (c *Coordinator) eligible(ns *nodeState) bool {
+	healthy, draining, h, _, _ := ns.snapshot()
+	if draining || !healthy || h.Draining {
+		return false
+	}
+	return ns.breaker.State() != simsvc.BreakerOpen
+}
+
+// candidates returns the submission order for a key: eligible nodes in
+// ring order, with nodes past the bounded-load capacity moved after the
+// under-capacity ones (never dropped — when the whole fleet is hot the
+// owner is still the right first try).
+func (c *Coordinator) candidates(key string) []*nodeState {
+	names := c.ring.Candidates(key, 0)
+	under := make([]*nodeState, 0, len(names))
+	var over []*nodeState
+	// Capacity: c × mean load of eligible nodes, plus one of slack.
+	var total, n int
+	elig := make([]*nodeState, 0, len(names))
+	for _, name := range names {
+		ns := c.nodes[name]
+		if !c.eligible(ns) {
+			continue
+		}
+		elig = append(elig, ns)
+		total += ns.load()
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	capacity := c.loadFactor*(float64(total)/float64(n)) + 1
+	for _, ns := range elig {
+		if float64(ns.load()) > capacity {
+			over = append(over, ns)
+		} else {
+			under = append(under, ns)
+		}
+	}
+	return append(under, over...)
+}
+
+// Drain marks a node as draining (operator action via mallacc-ctl): no new
+// submissions route to it, existing jobs remain reachable. Undrain reverses
+// it. Unknown node names error.
+func (c *Coordinator) Drain(node string, drain bool) error {
+	ns, ok := c.nodes[node]
+	if !ok {
+		return fmt.Errorf("fleet: unknown node %q", node)
+	}
+	ns.mu.Lock()
+	ns.draining = drain
+	ns.mu.Unlock()
+	return nil
+}
+
+// NodeStatus is the per-node entry in the coordinator's healthz document.
+type NodeStatus struct {
+	Name     string  `json:"name"`
+	URL      string  `json:"url"`
+	Healthy  bool    `json:"healthy"`
+	Draining bool    `json:"draining"`
+	Breaker  string  `json:"breaker"`
+	// BreakerAgeSeconds is how long the breaker has held its state.
+	BreakerAgeSeconds float64 `json:"breaker_age_seconds"`
+	// Ownership is the node's fraction of the hash space.
+	Ownership float64 `json:"ownership"`
+	simsvc.Health
+	LastError string `json:"last_error,omitempty"`
+	// ProbeAgeSeconds is the time since the node was last probed; -1
+	// before the first probe lands.
+	ProbeAgeSeconds float64 `json:"probe_age_seconds"`
+}
+
+// FleetHealth is the coordinator's /v1/healthz document: ok when at least
+// one node can take work, plus the full membership view mallacc-ctl status
+// renders.
+type FleetHealth struct {
+	OK    bool         `json:"ok"`
+	Live  int          `json:"live"`
+	Total int          `json:"total"`
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+// Healthz aggregates per-node health, breaker states and ownership.
+func (c *Coordinator) Healthz() FleetHealth {
+	own := c.ring.Ownership()
+	out := FleetHealth{Total: len(c.order)}
+	for _, name := range c.order {
+		ns := c.nodes[name]
+		healthy, draining, h, lastErr, probedAt := ns.snapshot()
+		st := NodeStatus{
+			Name:              name,
+			URL:               ns.node.URL,
+			Healthy:           healthy,
+			Draining:          draining,
+			Breaker:           ns.breaker.State().String(),
+			BreakerAgeSeconds: ns.breaker.StateAge().Seconds(),
+			Ownership:         own[name],
+			Health:            h,
+			LastError:         lastErr,
+			ProbeAgeSeconds:   -1,
+		}
+		if !probedAt.IsZero() {
+			st.ProbeAgeSeconds = time.Since(probedAt).Seconds()
+		}
+		if healthy && !draining {
+			out.Live++
+		}
+		out.Nodes = append(out.Nodes, st)
+	}
+	out.OK = out.Live > 0
+	return out
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := ParseNodes("n1=127.0.0.1:7071, n2=http://127.0.0.1:7072/ ,n3=https://sim.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{
+		{Name: "n1", URL: "http://127.0.0.1:7071"},
+		{Name: "n2", URL: "http://127.0.0.1:7072"},
+		{Name: "n3", URL: "https://sim.example"},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("got %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"n1",                  // no url
+		"n1=",                 // empty url
+		"N1=host",             // uppercase name
+		"has.dot=host",        // dot collides with job-id separator
+		"n1=a,n1=b",           // duplicate
+		"-leading-dash=host",  // must start alphanumeric
+	} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Errorf("ParseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestJobIDRoundTrip(t *testing.T) {
+	id := JoinJobID("n2", "j00000001")
+	if id != "n2.j00000001" {
+		t.Fatalf("JoinJobID = %q", id)
+	}
+	node, rest, ok := SplitJobID(id)
+	if !ok || node != "n2" || rest != "j00000001" {
+		t.Fatalf("SplitJobID(%q) = %q, %q, %v", id, node, rest, ok)
+	}
+	for _, bad := range []string{"", "noprefix", ".j1", "n1."} {
+		if _, _, ok := SplitJobID(bad); ok {
+			t.Errorf("SplitJobID(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestExpandGrid(t *testing.T) {
+	specs, err := ExpandGrid("kind=run;workload=ubench.gauss,ubench.tp;variant=baseline,mallacc;calls=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d specs, want 4", len(specs))
+	}
+	// Rightmost axis varies fastest; canonicalization filled the defaults.
+	if specs[0].Workload != "ubench.gauss" || specs[0].Variant != "baseline" {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Workload != "ubench.gauss" || specs[1].Variant != "mallacc" {
+		t.Errorf("spec 1 = %+v", specs[1])
+	}
+	if specs[3].Workload != "ubench.tp" || specs[3].Variant != "mallacc" {
+		t.Errorf("spec 3 = %+v", specs[3])
+	}
+	for _, s := range specs {
+		if s.Calls != 2000 || s.Seed != 1 || s.MCEntries == 0 {
+			t.Errorf("spec not canonicalized: %+v", s)
+		}
+	}
+	// Deterministic: same grid, same keys in the same order.
+	again, err := ExpandGrid("kind=run;workload=ubench.gauss,ubench.tp;variant=baseline,mallacc;calls=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if specs[i].Key() != again[i].Key() {
+			t.Fatalf("grid expansion is not deterministic at %d", i)
+		}
+	}
+}
+
+func TestExpandGridRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"novalue",
+		"workload=",                       // no values
+		"workload=ubench.gauss;workload=ubench.tp", // duplicate field
+		"workload=nope-not-a-workload",    // canonicalization fails
+		"bogus_field=1",                   // strict decode fails
+		"seeds=1,2,3,4;calls=1,2,3,4;seed=" + strings.Repeat("1,", 4096) + "1", // too big
+	} {
+		if _, err := ExpandGrid(bad); err == nil {
+			t.Errorf("ExpandGrid(%q) accepted", bad)
+		}
+	}
+}

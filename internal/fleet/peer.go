@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mallacc/internal/faults"
+	"mallacc/internal/telemetry"
+)
+
+// DefaultFillPeers is how many ring candidates (excluding self) a node asks
+// before giving up and recomputing. The owner plus one successor covers both
+// steady-state ownership and the failover node a report may have landed on.
+const DefaultFillPeers = 2
+
+// maxFillBytes bounds one peer-fill response; reports are tens of KB, so
+// 16 MiB is generous without letting a confused peer exhaust memory.
+const maxFillBytes = 16 << 20
+
+// PeerFiller is the node-side half of peer-to-peer cache fill. Plugged into
+// simsvc.Config.PeerFill, it turns a local cache miss into a ring walk: ask
+// the job key's other candidates for the report via GET /v1/cache/{key} and
+// adopt the first hit. Misses and transport errors degrade to "not found" —
+// the node simply recomputes, so peer fill can only ever save work, never
+// add a failure mode.
+type PeerFiller struct {
+	self     string
+	ring     *Ring
+	client   *http.Client
+	maxPeers int
+
+	mu   sync.RWMutex
+	urls map[string]string // node name -> base URL
+
+	hits, misses, errs atomic.Uint64
+}
+
+// NewPeerFiller builds a filler for node self over the fleet's membership.
+// self must be one of nodes. replicas <= 0 takes DefaultReplicas so every
+// node and the coordinator agree on ownership.
+func NewPeerFiller(self string, nodes []Node, replicas int) (*PeerFiller, error) {
+	ring, err := NewRing(replicas, nodeNames(nodes))
+	if err != nil {
+		return nil, err
+	}
+	urls := make(map[string]string, len(nodes))
+	for _, n := range nodes {
+		urls[n.Name] = n.URL
+	}
+	if _, ok := urls[self]; !ok {
+		return nil, fmt.Errorf("fleet: self node %q is not in the fleet spec", self)
+	}
+	return &PeerFiller{
+		self:     self,
+		ring:     ring,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		maxPeers: DefaultFillPeers,
+		urls:     urls,
+	}, nil
+}
+
+// SetMembers replaces the peer URL table (tests wire httptest servers here;
+// a future membership service would too). Unknown ring nodes are skipped at
+// fill time, not an error here.
+func (p *PeerFiller) SetMembers(nodes []Node) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.urls = make(map[string]string, len(nodes))
+	for _, n := range nodes {
+		p.urls[n.Name] = n.URL
+	}
+}
+
+// Fill implements simsvc.Config.PeerFill: it asks up to DefaultFillPeers
+// ring candidates (skipping self) for the key's report and returns the
+// first hit. Any failure — injected fault, transport error, non-200 — just
+// moves on to the next candidate; exhaustion is a miss.
+func (p *PeerFiller) Fill(key string) ([]byte, bool) {
+	asked := 0
+	for _, node := range p.ring.Candidates(key, 0) {
+		if node == p.self || asked >= p.maxPeers {
+			continue
+		}
+		p.mu.RLock()
+		base, ok := p.urls[node]
+		p.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		asked++
+		b, err := p.fetch(base, key)
+		if err != nil {
+			p.errs.Add(1)
+			continue
+		}
+		if b == nil { // clean 404: the peer just doesn't hold it
+			continue
+		}
+		p.hits.Add(1)
+		return b, true
+	}
+	p.misses.Add(1)
+	return nil, false
+}
+
+// fetch asks one peer for one key. A 404 returns (nil, nil) — a clean miss,
+// distinct from a transport or server error.
+func (p *PeerFiller) fetch(base, key string) ([]byte, error) {
+	if err := faults.Inject(faults.PointPeerFill); err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Get(base + "/v1/cache/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("fleet: peer fill %s: unexpected status %s", base, resp.Status)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxFillBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxFillBytes {
+		return nil, fmt.Errorf("fleet: peer fill %s: response exceeds %d bytes", base, maxFillBytes)
+	}
+	return b, nil
+}
+
+// RegisterMetrics exposes the fill counters on the node's registry — the
+// smoke test's "resubmit after rejoin was served from a peer" proof reads
+// fleet.peerfill.hits here.
+func (p *PeerFiller) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("fleet.peerfill.hits", p.hits.Load)
+	reg.Counter("fleet.peerfill.misses", p.misses.Load)
+	reg.Counter("fleet.peerfill.errors", p.errs.Load)
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mallacc/internal/simsvc"
+)
+
+// ExpandGrid expands a sweep grid spec into canonical job specs, in
+// deterministic order (axes left to right, values in written order — the
+// rightmost axis varies fastest).
+//
+// The spec is semicolon-separated axes, each "field=value[,value...]" over
+// the JobSpec JSON fields:
+//
+//	kind=run;workload=gauss,tcmalloc;variant=baseline,mallacc;calls=20000
+//
+// expands to 4 specs. Values that parse as JSON numbers or booleans are
+// passed through as such; everything else is a string. Every combination is
+// validated by the same strict decode + canonicalize path a direct /v1/jobs
+// submission goes through, so a bad grid fails before anything is enqueued.
+func ExpandGrid(spec string) ([]simsvc.JobSpec, error) {
+	type axis struct {
+		field  string
+		values []string
+	}
+	var axes []axis
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		field, vals, ok := strings.Cut(part, "=")
+		field = strings.TrimSpace(field)
+		if !ok || field == "" {
+			return nil, fmt.Errorf("fleet: grid axis %q is not field=value[,value...]", part)
+		}
+		if seen[field] {
+			return nil, fmt.Errorf("fleet: grid field %q appears twice", field)
+		}
+		seen[field] = true
+		var values []string
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			values = append(values, v)
+		}
+		if len(values) == 0 {
+			return nil, fmt.Errorf("fleet: grid field %q has no values", field)
+		}
+		axes = append(axes, axis{field: field, values: values})
+	}
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("fleet: empty grid spec")
+	}
+
+	total := 1
+	for _, a := range axes {
+		total *= len(a.values)
+	}
+	const maxGrid = 4096
+	if total > maxGrid {
+		return nil, fmt.Errorf("fleet: grid expands to %d jobs (max %d)", total, maxGrid)
+	}
+
+	specs := make([]simsvc.JobSpec, 0, total)
+	idx := make([]int, len(axes))
+	for n := 0; n < total; n++ {
+		doc := map[string]json.RawMessage{}
+		for i, a := range axes {
+			doc[a.field] = gridValue(a.values[idx[i]])
+		}
+		b, err := json.Marshal(doc)
+		if err != nil {
+			return nil, err
+		}
+		js, err := simsvc.DecodeSpec(b)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: grid point %s: %w", describePoint(doc), err)
+		}
+		canon, err := js.Canonicalize()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: grid point %s: %w", describePoint(doc), err)
+		}
+		specs = append(specs, canon)
+		// Odometer increment, rightmost axis fastest.
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i].values) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return specs, nil
+}
+
+// gridValue renders one grid value as JSON: numbers and booleans pass
+// through, everything else becomes a string.
+func gridValue(v string) json.RawMessage {
+	if v == "true" || v == "false" {
+		return json.RawMessage(v)
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return json.RawMessage(v)
+	}
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// describePoint renders a grid point compactly for error messages.
+func describePoint(doc map[string]json.RawMessage) string {
+	b, _ := json.Marshal(doc)
+	return string(b)
+}

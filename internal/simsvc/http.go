@@ -26,6 +26,9 @@ import (
 //	DELETE /v1/jobs/{id} cancel; 409 error body when already finished
 //	POST   /v1/traces    record a TraceSpec's allocation stream into the
 //	                     trace store; returns the replayable trace:<key>
+//	GET    /v1/cache/{key}
+//	                     raw cached report bytes for a job key, 404 on
+//	                     miss — the fleet's peer cache-fill endpoint
 //	GET    /v1/healthz   liveness + occupancy + breaker state/age; ok=false
 //	                     (still 200) while the breaker is open
 //	GET    /v1/metrics   telemetry snapshot: JSON (compact map form) by
@@ -41,6 +44,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/traces", s.handleRecordTrace)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return faultsMiddleware(mux)
@@ -150,6 +154,46 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}
+}
+
+// handleCacheGet serves raw cached report bytes by job key — the fleet's
+// peer cache-fill endpoint. It only ever reads the local cache: a miss is
+// a plain 404 (the asking node recomputes), never a recursive fill, so a
+// fill chain can't loop through the fleet.
+func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyOK(key) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad cache key %q (want 64 lowercase hex chars)", key))
+		return
+	}
+	b, ok := s.cache.Get(key)
+	if !ok {
+		s.peerNotFound.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached report for key %s", key))
+		return
+	}
+	s.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// cacheKeyOK reports whether key looks like a job content address (hex
+// SHA-256). Rejecting anything else keeps arbitrary strings out of the
+// cache's disk-path namespace.
+func cacheKeyOK(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

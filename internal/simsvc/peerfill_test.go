@@ -1,0 +1,104 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCacheGetEndpoint exercises the fleet peer-fill endpoint: raw report
+// bytes on hit, the shared error document on miss, and key validation.
+func TestCacheGetEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"workload":"ubench.tp_small","calls":2000,"seed":6}`
+	_, st := postJob(t, ts, body)
+	final := pollTerminal(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + final.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit status = %d, want 200 (%s)", resp.StatusCode, got)
+	}
+	// The status document re-indents the embedded report, so compare
+	// compact forms: the payloads must be semantically byte-identical.
+	var a, b bytes.Buffer
+	if err := json.Compact(&a, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&b, final.Report); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("cache endpoint bytes differ from the job report")
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/cache/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cache miss status = %d, want 404", resp.StatusCode)
+	}
+
+	for _, bad := range []string{"short", strings.Repeat("Z", 64), strings.Repeat("0", 63) + "g"} {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad key %q status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestSubmitUsesPeerFill proves a cache miss consults the peer-fill hook
+// and a successful fill behaves exactly like a cache hit — including being
+// stored locally so the next miss never re-asks the peer.
+func TestSubmitUsesPeerFill(t *testing.T) {
+	svcA, tsA := newTestServer(t, Config{Workers: 1})
+	body := `{"workload":"ubench.tp_small","calls":2000,"seed":7}`
+	_, st := postJob(t, tsA, body)
+	final := pollTerminal(t, tsA, st.ID)
+
+	fills := 0
+	_, tsB := newTestServer(t, Config{
+		Workers: 1,
+		PeerFill: func(key string) ([]byte, bool) {
+			fills++
+			return svcA.Cache().Get(key)
+		},
+	})
+	resp, st2 := postJob(t, tsB, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filled submit status = %d, want 200", resp.StatusCode)
+	}
+	if !st2.Cached {
+		t.Error("peer-filled job not marked cached")
+	}
+	if !bytes.Equal(st2.Report, final.Report) {
+		t.Error("peer-filled report differs from the origin report")
+	}
+	if fills != 1 {
+		t.Errorf("peer fill consulted %d times, want 1", fills)
+	}
+
+	// Now the report is local: a resubmission is a plain cache hit.
+	_, st3 := postJob(t, tsB, body)
+	if !st3.Cached || fills != 1 {
+		t.Errorf("resubmit: cached=%v fills=%d, want true/1", st3.Cached, fills)
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// SSEHeartbeat is the idle keep-alive interval on event streams
 	// (default 15s).
 	SSEHeartbeat time.Duration
+	// PeerFill, when set, is consulted on a local cache miss before the
+	// job is enqueued: it may return the report bytes another fleet node
+	// already computed (see internal/fleet.PeerFiller). A successful fill
+	// is stored locally and behaves exactly like a cache hit.
+	PeerFill func(key string) ([]byte, bool)
 }
 
 // ErrBreakerOpen rejects uncached submissions while the circuit breaker
@@ -76,6 +81,12 @@ type Service struct {
 	progressEvery uint64
 	sseHeartbeat  time.Duration
 	sseStreams    atomic.Uint64
+
+	// peerFill is Config.PeerFill; peerServed / peerNotFound count the
+	// serving side of peer fills (GET /v1/cache/{key} hits and misses).
+	peerFill     func(key string) ([]byte, bool)
+	peerServed   atomic.Uint64
+	peerNotFound atomic.Uint64
 
 	// Run-level memoization: experiments with overlapping grids (fig13 and
 	// fig14 share every run; fig17's sweep revisits the headline points)
@@ -112,6 +123,7 @@ func New(cfg Config) (*Service, error) {
 		traces:         traces,
 		progressEvery:  cfg.ProgressEvery,
 		sseHeartbeat:   cfg.SSEHeartbeat,
+		peerFill:       cfg.PeerFill,
 		runResults:     map[string]*harness.Result{},
 		clusterResults: map[string]*multicore.Result{},
 	}
@@ -131,6 +143,8 @@ func New(cfg Config) (*Service, error) {
 	reg.Counter("simsvc.runcache.hits", s.runHits.Load)
 	reg.Counter("simsvc.runcache.misses", s.runMisses.Load)
 	reg.Counter("simsvc.sse.streams", s.sseStreams.Load)
+	reg.Counter("simsvc.cache.peer.served", s.peerServed.Load)
+	reg.Counter("simsvc.cache.peer.notfound", s.peerNotFound.Load)
 	return s, nil
 }
 
@@ -141,9 +155,10 @@ func (s *Service) Registry() *telemetry.Registry { return s.reg }
 func (s *Service) Cache() *Cache { return s.cache }
 
 // Submit canonicalizes and admits a job. A cache hit returns a job already
-// in state done with the stored report and Cached set; a miss consults the
-// circuit breaker (cached results are always served — shedding protects
-// the workers, not the cache) and then enqueues the job for the pool.
+// in state done with the stored report and Cached set; a miss first tries
+// the peer-fill hook (another fleet node may already hold the report), then
+// consults the circuit breaker (cached results are always served — shedding
+// protects the workers, not the cache) and enqueues the job for the pool.
 func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	c, err := spec.Canonicalize()
 	if err != nil {
@@ -152,6 +167,12 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	key := c.Key()
 	if b, ok := s.cache.Get(key); ok {
 		return s.sched.Completed(c, key, b)
+	}
+	if s.peerFill != nil {
+		if b, ok := s.peerFill(key); ok {
+			s.cache.Put(key, b)
+			return s.sched.Completed(c, key, b)
+		}
 	}
 	if !s.breaker.Allow() {
 		return JobStatus{}, ErrBreakerOpen
