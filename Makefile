@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos clean
+.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos designspace-smoke clean
 
 all: build vet test
 
@@ -38,6 +38,8 @@ baseline:
 		> results/metrics/multicore.json
 	$(GO) run ./cmd/mallacc-serve -digest \
 		> results/metrics/simsvc.json
+	$(GO) run ./cmd/mallacc-bench -run designspace -metrics -format json -seed 1 \
+		> results/metrics/designspace.json
 
 # End-to-end smoke test of the mallacc-serve daemon: submit over HTTP,
 # verify the cached resubmission is byte-identical, and check SIGTERM
@@ -64,6 +66,12 @@ obs-smoke:
 # cold restart, drain/undrain, and a clean fleet.* OpenMetrics scrape.
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# Design-space smoke test: the designspace experiment (5 strategies x
+# 1..16 cores) run twice at seed 1 must be byte-identical and must match
+# the pinned digest under results/metrics/.
+designspace-smoke:
+	./scripts/designspace_smoke.sh
 
 # Fleet chaos test: the same grid sweep on a clean fleet and on a fleet
 # with seeded faults on every hop plus a node kill -9'd mid-sweep; the two

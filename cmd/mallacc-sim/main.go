@@ -22,6 +22,7 @@ import (
 	"strconv"
 
 	"mallacc"
+	"mallacc/internal/catalog"
 	"mallacc/internal/faults"
 	"mallacc/internal/harness"
 	"mallacc/internal/simsvc"
@@ -30,7 +31,8 @@ import (
 func main() {
 	var (
 		wname   = flag.String("workload", "ubench.tp_small", "workload name")
-		variant = flag.String("variant", "baseline", "baseline | mallacc | limit")
+		variant = flag.String("variant", "baseline", "baseline | mallacc | limit | offload")
+		backend = flag.String("backend", "tcmalloc", "allocator substrate: tcmalloc | lockfree")
 		entries = flag.Int("entries", 32, "malloc cache entries (mallacc variant)")
 		calls   = flag.Int("calls", 60000, "allocator-call budget (split across cores when -cores > 1)")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
@@ -63,6 +65,10 @@ func main() {
 	}
 
 	if err := harness.ValidateRunBounds(*cores, *seed, *calls); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := catalog.CheckCombo(*backend, *variant); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -105,7 +111,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-serve cannot use trace files; record with -record-trace and submit the trace:<key> workload instead")
 			os.Exit(1)
 		}
-		if err := runRemote(*serve, *wname, *variant, *entries, *calls, *seed, *cores, *format, *metrics, *follow); err != nil {
+		if err := runRemote(*serve, *wname, *variant, catalog.NormalizeBackend(*backend), *entries, *calls, *seed, *cores, *format, *metrics, *follow); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -162,27 +168,18 @@ func main() {
 		fmt.Printf("recorded %d events to %s\n", len(tr.Events), *record)
 		return
 	}
-	var v mallacc.Variant
-	switch *variant {
-	case "baseline":
-		v = mallacc.Baseline
-	case "mallacc":
-		v = mallacc.Mallacc
-	case "limit":
-		v = mallacc.Limit
-	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-		os.Exit(1)
-	}
+	// CheckCombo above already vetted the names; VariantByName cannot miss.
+	v, _ := harness.VariantByName(*variant)
 
 	if *cores > 1 {
-		runCluster(w, v, *entries, *calls, *seed, *cores, *format, *metrics)
+		runCluster(w, v, *backend, *entries, *calls, *seed, *cores, *format, *metrics)
 		return
 	}
 
 	r := mallacc.Run(mallacc.RunOptions{
 		Workload:  w,
 		Variant:   v,
+		Backend:   catalog.NormalizeBackend(*backend),
 		MCEntries: *entries,
 		Calls:     *calls,
 		Seed:      *seed,
@@ -201,9 +198,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload: %s  variant: %s\n", r.Workload, r.Variant)
-	fmt.Printf("mallocs: %d  frees: %d  thread-cache hits: %d  central fetches: %d  sampled: %d\n",
-		r.Heap.Mallocs, r.Heap.Frees, r.Heap.FastHits, r.Heap.CentralFetches, r.Heap.Sampled)
+	if catalog.NormalizeBackend(r.Backend) != "" {
+		fmt.Printf("workload: %s  variant: %s  backend: %s\n", r.Workload, r.Variant, r.Backend)
+	} else {
+		fmt.Printf("workload: %s  variant: %s\n", r.Workload, r.Variant)
+	}
+	if r.LockFree != nil {
+		fmt.Printf("allocs: %d  frees: %d  stack pops: %d  slab carves: %d  refills: %d\n",
+			r.LockFree.Allocs, r.LockFree.Frees, r.LockFree.PopHits, r.LockFree.Carves, r.LockFree.SlabRefills)
+	} else {
+		fmt.Printf("mallocs: %d  frees: %d  thread-cache hits: %d  central fetches: %d  sampled: %d\n",
+			r.Heap.Mallocs, r.Heap.Frees, r.Heap.FastHits, r.Heap.CentralFetches, r.Heap.Sampled)
+	}
 	fmt.Printf("malloc: mean %.1f cycles, median %.1f, p99 %.1f (fast-path mean %.1f over %d calls)\n",
 		r.MeanMallocCycles(), r.MallocHist.MedianCycles(), r.MallocHist.PercentileCycles(99),
 		r.MeanFastMallocCycles(), r.FastMallocCalls)
@@ -218,6 +224,15 @@ func main() {
 	if r.MC != nil {
 		fmt.Printf("malloc cache: lookup hit %.1f%%  pop hit %.1f%%  evictions %d  prefetches %d\n",
 			100*r.MC.LookupHitRate(), 100*r.MC.PopHitRate(), r.MC.Evictions, r.MC.Prefetches)
+	}
+	if lf := r.LockFree; lf != nil && lf.Allocs+lf.Frees > 0 {
+		fmt.Printf("cas: %d attempts, %.2f retries/call\n",
+			lf.CASAttempts, float64(lf.CASRetries)/float64(lf.Allocs+lf.Frees))
+	}
+	if off := r.Offload; off != nil && off.Mallocs > 0 {
+		fmt.Printf("offload: roundtrip mean %.1f cycles  queue mean depth %.2f (max %d)\n",
+			float64(off.RoundTripCycles)/float64(off.Mallocs),
+			float64(off.DepthSum)/float64(off.Mallocs), off.MaxDepth)
 	}
 	fmt.Println("\nmalloc duration distribution (time-weighted):")
 	fmt.Print(r.MallocHist.RenderPDF(40))
@@ -236,7 +251,7 @@ func main() {
 
 // runCluster executes the workload on a simulated multi-core machine and
 // emits the multi-core digest in the requested format.
-func runCluster(w mallacc.Workload, v mallacc.Variant, entries, calls int, seed uint64, cores int, format string, metrics bool) {
+func runCluster(w mallacc.Workload, v mallacc.Variant, backend string, entries, calls int, seed uint64, cores int, format string, metrics bool) {
 	perCore := calls / cores
 	if perCore < 1 {
 		perCore = 1
@@ -244,6 +259,7 @@ func runCluster(w mallacc.Workload, v mallacc.Variant, entries, calls int, seed 
 	r := mallacc.RunCluster(mallacc.ClusterConfig{
 		Cores:        cores,
 		Variant:      v,
+		Backend:      catalog.NormalizeBackend(backend),
 		MCEntries:    entries,
 		Workload:     w,
 		CallsPerCore: perCore,
@@ -268,7 +284,11 @@ func runCluster(w mallacc.Workload, v mallacc.Variant, entries, calls int, seed 
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload: %s  variant: %s  cores: %d\n", r.Workload, r.Variant, r.Cores)
+	if catalog.NormalizeBackend(r.Backend) != "" {
+		fmt.Printf("workload: %s  variant: %s  backend: %s  cores: %d\n", r.Workload, r.Variant, r.Backend, r.Cores)
+	} else {
+		fmt.Printf("workload: %s  variant: %s  cores: %d\n", r.Workload, r.Variant, r.Cores)
+	}
 	fmt.Printf("mallocs: %d  frees: %d  remote frees: %d  epochs: %d\n",
 		r.MallocCalls, r.FreeCalls, r.RemoteFrees, r.Epochs)
 	fmt.Printf("malloc: mean %.1f cycles  allocator share %.2f%%  (busy %d cycles, wall %d)\n",
@@ -278,6 +298,15 @@ func runCluster(w mallacc.Workload, v mallacc.Variant, entries, calls int, seed 
 	if r.MC != nil {
 		fmt.Printf("malloc cache: lookup hit %.1f%%  pop hit %.1f%% (aggregated over %d cores)\n",
 			100*r.MCLookupHitRate(), 100*r.MCPopHitRate(), r.Cores)
+	}
+	if lf := r.LockFree; lf != nil && lf.Allocs+lf.Frees > 0 {
+		fmt.Printf("cas: %d attempts, %.2f retries/call\n",
+			lf.CASAttempts, float64(lf.CASRetries)/float64(lf.Allocs+lf.Frees))
+	}
+	if off := r.Offload; off != nil && off.Mallocs > 0 {
+		fmt.Printf("offload: roundtrip mean %.1f cycles  queue mean depth %.2f (max %d)\n",
+			float64(off.RoundTripCycles)/float64(off.Mallocs),
+			float64(off.DepthSum)/float64(off.Mallocs), off.MaxDepth)
 	}
 	fmt.Println("\nper-core breakdown:")
 	fmt.Printf("%-5s %10s %8s %12s %12s %10s %8s\n",
@@ -307,6 +336,7 @@ func runCluster(w mallacc.Workload, v mallacc.Variant, entries, calls int, seed 
 type clusterSummary struct {
 	Workload          string                   `json:"workload"`
 	Variant           string                   `json:"variant"`
+	Backend           string                   `json:"backend,omitempty"`
 	Cores             int                      `json:"cores"`
 	MallocCalls       uint64                   `json:"malloc_calls"`
 	FreeCalls         uint64                   `json:"free_calls"`
@@ -319,6 +349,9 @@ type clusterSummary struct {
 	LockCyclesPerCall float64                  `json:"lock_cycles_per_call"`
 	MCLookupHitRate   float64                  `json:"mc_lookup_hit_rate,omitempty"`
 	MCPopHitRate      float64                  `json:"mc_pop_hit_rate,omitempty"`
+	CASRetriesPerCall float64                  `json:"cas_retries_per_call,omitempty"`
+	OffloadRoundTrip  float64                  `json:"offload_roundtrip_mean_cycles,omitempty"`
+	OffloadMeanDepth  float64                  `json:"offload_queue_mean_depth,omitempty"`
 	PerCore           []mallacc.CoreStats      `json:"per_core"`
 	Metrics           *mallacc.MetricsSnapshot `json:"metrics,omitempty"`
 }
@@ -342,6 +375,14 @@ func clusterSummarize(r *mallacc.ClusterResult, withMetrics bool) clusterSummary
 	if r.MC != nil {
 		s.MCLookupHitRate = r.MCLookupHitRate()
 		s.MCPopHitRate = r.MCPopHitRate()
+	}
+	s.Backend = catalog.NormalizeBackend(r.Backend)
+	if lf := r.LockFree; lf != nil && lf.Allocs+lf.Frees > 0 {
+		s.CASRetriesPerCall = float64(lf.CASRetries) / float64(lf.Allocs+lf.Frees)
+	}
+	if off := r.Offload; off != nil && off.Mallocs > 0 {
+		s.OffloadRoundTrip = float64(off.RoundTripCycles) / float64(off.Mallocs)
+		s.OffloadMeanDepth = float64(off.DepthSum) / float64(off.Mallocs)
 	}
 	if withMetrics {
 		s.Metrics = &r.Telemetry
@@ -373,6 +414,17 @@ func emitClusterCSV(r *mallacc.ClusterResult, withMetrics bool) {
 		records = append(records,
 			[]string{"mc_lookup_hit_rate", f(s.MCLookupHitRate)},
 			[]string{"mc_pop_hit_rate", f(s.MCPopHitRate)})
+	}
+	if s.Backend != "" {
+		records = append(records, []string{"backend", s.Backend})
+	}
+	if r.LockFree != nil {
+		records = append(records, []string{"cas_retries_per_call", f(s.CASRetriesPerCall)})
+	}
+	if off := r.Offload; off != nil && off.Mallocs > 0 {
+		records = append(records,
+			[]string{"offload_roundtrip_mean_cycles", f(s.OffloadRoundTrip)},
+			[]string{"offload_queue_mean_depth", f(s.OffloadMeanDepth)})
 	}
 	for i, cs := range s.PerCore {
 		p := fmt.Sprintf("core%d_", i)
@@ -407,6 +459,7 @@ func emitClusterCSV(r *mallacc.ClusterResult, withMetrics bool) {
 type summary struct {
 	Workload          string                   `json:"workload"`
 	Variant           string                   `json:"variant"`
+	Backend           string                   `json:"backend,omitempty"`
 	Calls             uint64                   `json:"calls"`
 	MallocMeanCycles  float64                  `json:"malloc_mean_cycles"`
 	MallocP50Cycles   float64                  `json:"malloc_p50_cycles"`
@@ -416,6 +469,9 @@ type summary struct {
 	AllocatorFraction float64                  `json:"allocator_fraction"`
 	TotalCycles       uint64                   `json:"total_cycles"`
 	IPC               float64                  `json:"ipc"`
+	CASRetriesPerCall float64                  `json:"cas_retries_per_call,omitempty"`
+	OffloadRoundTrip  float64                  `json:"offload_roundtrip_mean_cycles,omitempty"`
+	OffloadMeanDepth  float64                  `json:"offload_queue_mean_depth,omitempty"`
 	Metrics           *mallacc.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
@@ -434,6 +490,14 @@ func summarize(r *mallacc.Result, withMetrics bool) summary {
 	}
 	if r.FreeCalls > 0 {
 		s.FreeMeanCycles = float64(r.FreeCycles) / float64(r.FreeCalls)
+	}
+	s.Backend = catalog.NormalizeBackend(r.Backend)
+	if lf := r.LockFree; lf != nil && lf.Allocs+lf.Frees > 0 {
+		s.CASRetriesPerCall = float64(lf.CASRetries) / float64(lf.Allocs+lf.Frees)
+	}
+	if off := r.Offload; off != nil && off.Mallocs > 0 {
+		s.OffloadRoundTrip = float64(off.RoundTripCycles) / float64(off.Mallocs)
+		s.OffloadMeanDepth = float64(off.DepthSum) / float64(off.Mallocs)
 	}
 	if withMetrics {
 		s.Metrics = &r.Telemetry
@@ -467,6 +531,17 @@ func emitCSV(r *mallacc.Result, withMetrics bool) {
 		{"allocator_fraction", f(s.AllocatorFraction)},
 		{"total_cycles", strconv.FormatUint(s.TotalCycles, 10)},
 		{"ipc", f(s.IPC)},
+	}
+	if s.Backend != "" {
+		records = append(records, []string{"backend", s.Backend})
+	}
+	if r.LockFree != nil {
+		records = append(records, []string{"cas_retries_per_call", f(s.CASRetriesPerCall)})
+	}
+	if off := r.Offload; off != nil && off.Mallocs > 0 {
+		records = append(records,
+			[]string{"offload_roundtrip_mean_cycles", f(s.OffloadRoundTrip)},
+			[]string{"offload_queue_mean_depth", f(s.OffloadMeanDepth)})
 	}
 	for _, rec := range records {
 		if err := w.Write(rec); err != nil {

@@ -92,11 +92,12 @@ func normalizeBase(base string) string {
 // runRemote submits the run as a job to a mallacc-serve daemon, waits for
 // it — tailing its live progress stream when follow is set — and renders
 // the returned report in the requested format.
-func runRemote(base, wname, variant string, entries, calls int, seed uint64, cores int, format string, metrics, follow bool) error {
+func runRemote(base, wname, variant, backend string, entries, calls int, seed uint64, cores int, format string, metrics, follow bool) error {
 	base = normalizeBase(base)
 	spec := mallacc.JobSpec{
 		Workload:  wname,
 		Variant:   variant,
+		Backend:   backend,
 		MCEntries: entries,
 		Cores:     cores,
 		Calls:     calls,

@@ -1,0 +1,97 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckVariantEnumeratesOptions(t *testing.T) {
+	for _, v := range Variants() {
+		if err := CheckVariant(v); err != nil {
+			t.Errorf("CheckVariant(%q) = %v, want nil", v, err)
+		}
+	}
+	err := CheckVariant("turbo")
+	if err == nil {
+		t.Fatal("CheckVariant accepted an unknown name")
+	}
+	for _, v := range Variants() {
+		if !strings.Contains(err.Error(), `"`+v+`"`) {
+			t.Errorf("error %q does not enumerate %q", err, v)
+		}
+	}
+}
+
+func TestCheckBackendEnumeratesOptions(t *testing.T) {
+	for _, b := range Backends() {
+		if err := CheckBackend(b); err != nil {
+			t.Errorf("CheckBackend(%q) = %v, want nil", b, err)
+		}
+	}
+	err := CheckBackend("slab")
+	if err == nil {
+		t.Fatal("CheckBackend accepted an unknown name")
+	}
+	for _, b := range Backends() {
+		if !strings.Contains(err.Error(), `"`+b+`"`) {
+			t.Errorf("error %q does not enumerate %q", err, b)
+		}
+	}
+}
+
+func TestRunnableBackends(t *testing.T) {
+	for _, b := range RunnableBackends() {
+		if err := CheckRunnableBackend(b); err != nil {
+			t.Errorf("CheckRunnableBackend(%q) = %v, want nil", b, err)
+		}
+	}
+	for _, b := range []string{BackendJemalloc, BackendHoard, BackendBuddy} {
+		err := CheckRunnableBackend(b)
+		if err == nil {
+			t.Errorf("CheckRunnableBackend(%q) accepted an experiment-only substrate", b)
+			continue
+		}
+		if !strings.Contains(err.Error(), "experiment-only") {
+			t.Errorf("error %q does not explain why %q is rejected", err, b)
+		}
+	}
+}
+
+func TestCheckCombo(t *testing.T) {
+	for _, s := range Strategies() {
+		if err := CheckCombo(s.Backend, s.Variant); err != nil {
+			t.Errorf("strategy %q: CheckCombo(%q, %q) = %v", s.Name, s.Backend, s.Variant, err)
+		}
+	}
+	if err := CheckCombo(BackendLockFree, VariantOffload); err == nil {
+		t.Error("lockfree+offload accepted; the offload core owns a tcmalloc heap")
+	}
+	if err := CheckCombo(BackendLockFree, VariantLimit); err == nil {
+		t.Error("lockfree+limit accepted; the limit study ablates tcmalloc steps")
+	}
+}
+
+func TestNormalizeBackend(t *testing.T) {
+	if got := NormalizeBackend(BackendTCMalloc); got != "" {
+		t.Errorf("NormalizeBackend(tcmalloc) = %q, want \"\" (legacy spec keys)", got)
+	}
+	if got := NormalizeBackend(""); got != "" {
+		t.Errorf("NormalizeBackend(\"\") = %q, want \"\"", got)
+	}
+	if got := NormalizeBackend(BackendLockFree); got != BackendLockFree {
+		t.Errorf("NormalizeBackend(lockfree) = %q", got)
+	}
+}
+
+func TestStrategiesCoverAtLeastFour(t *testing.T) {
+	if n := len(Strategies()); n < 4 {
+		t.Fatalf("designspace needs >= 4 strategies, catalog lists %d", n)
+	}
+	seen := map[string]bool{}
+	for _, s := range Strategies() {
+		if seen[s.Name] {
+			t.Errorf("duplicate strategy name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}

@@ -7,9 +7,12 @@ package harness
 
 import (
 	"mallacc/internal/cachesim"
+	"mallacc/internal/catalog"
 	"mallacc/internal/core"
 	"mallacc/internal/cpu"
+	"mallacc/internal/lockfree"
 	"mallacc/internal/mem"
+	"mallacc/internal/offload"
 	"mallacc/internal/progress"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
@@ -29,6 +32,9 @@ const (
 	// VariantLimit is the paper's limit study: baseline software with the
 	// three fast-path steps ignored by timing.
 	VariantLimit
+	// VariantOffload dispatches malloc/free over a modeled queue to a
+	// dedicated lightweight allocation core (internal/offload).
+	VariantOffload
 )
 
 func (v Variant) String() string {
@@ -37,15 +43,37 @@ func (v Variant) String() string {
 		return "mallacc"
 	case VariantLimit:
 		return "limit"
+	case VariantOffload:
+		return "offload"
 	default:
 		return "baseline"
 	}
+}
+
+// VariantByName maps a catalog variant name to the enum; unknown names
+// return false.
+func VariantByName(name string) (Variant, bool) {
+	switch name {
+	case "", "baseline":
+		return VariantBaseline, true
+	case "mallacc":
+		return VariantMallacc, true
+	case "limit":
+		return VariantLimit, true
+	case "offload":
+		return VariantOffload, true
+	}
+	return VariantBaseline, false
 }
 
 // Options configures one simulation run.
 type Options struct {
 	Workload workload.Workload
 	Variant  Variant
+	// Backend selects the allocator substrate: "" or "tcmalloc" runs the
+	// default heap, "lockfree" the per-class lock-free stack backend. The
+	// (backend, variant) pair is validated against internal/catalog.
+	Backend string
 	// MCEntries sizes the malloc cache (default 32, the paper's headline
 	// configuration; Fig. 17 sweeps it and Sec. 6.2 settles on 16).
 	MCEntries int
@@ -101,6 +129,8 @@ type Options struct {
 type Result struct {
 	Workload string
 	Variant  Variant
+	// Backend is the allocator substrate the run used ("" = tcmalloc).
+	Backend string
 
 	MallocHist *stats.DurationHist
 	FreeHist   *stats.DurationHist
@@ -131,6 +161,12 @@ type Result struct {
 	CPU  cpu.Stats
 	// MC holds accelerator statistics (VariantMallacc only).
 	MC *core.Stats
+	// LockFree holds the lock-free backend's stats (Backend "lockfree"
+	// only; nil otherwise).
+	LockFree *lockfree.Stats
+	// Offload holds the allocation-core engine's stats (VariantOffload
+	// only; nil otherwise).
+	Offload *offload.Stats
 
 	// Telemetry is the run's full metrics snapshot: every layer's counters
 	// plus per-step cycle attribution (step.sizeclass.cycles, ...), keyed
@@ -211,11 +247,24 @@ func (d *driver) tick() {
 // Run executes a workload under the given options and returns the
 // collected result.
 func Run(opt Options) *Result {
+	backend := opt.Backend
+	if backend == "" {
+		backend = catalog.BackendTCMalloc
+	}
+	if err := catalog.CheckCombo(backend, opt.Variant.String()); err != nil {
+		panic("harness: " + err.Error())
+	}
 	if opt.Calls <= 0 {
 		opt.Calls = 50000
 	}
 	if opt.MCEntries <= 0 {
 		opt.MCEntries = 32
+	}
+	if backend == catalog.BackendLockFree {
+		return runLockfree(opt)
+	}
+	if opt.Variant == VariantOffload {
+		return runOffload(opt)
 	}
 	hCfg := tcmalloc.DefaultConfig()
 	hCfg.Seed = opt.Seed

@@ -99,6 +99,7 @@ func Experiments() []Experiment {
 		{"frag", "Memory footprint vs live bytes (extension)", Frag},
 		{"buddy", "Hardware buddy allocator tradeoff (extension)", Buddy},
 		{"scale", "Core-count scaling under central-heap contention (extension)", Scale},
+		{"designspace", "Design-space study: lock-free backend and offload core vs Mallacc (extension)", DesignSpace},
 	}
 }
 

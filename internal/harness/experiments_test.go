@@ -28,7 +28,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 	if _, ok := ByID("fig99"); ok {
 		t.Fatal("ByID found a ghost experiment")
 	}
-	want := []string{"fig1", "fig2", "table1", "fig4", "fig6", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table2", "area", "ablation", "crossalloc", "ctxswitch", "frag", "buddy", "scale"}
+	want := []string{"fig1", "fig2", "table1", "fig4", "fig6", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table2", "area", "ablation", "crossalloc", "ctxswitch", "frag", "buddy", "scale", "designspace"}
 	if len(Experiments()) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(Experiments()), len(want))
 	}

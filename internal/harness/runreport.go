@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"mallacc/internal/catalog"
 	"mallacc/internal/multicore"
 )
 
@@ -20,6 +21,9 @@ func ReportForRun(r *Result, metrics bool) *Report {
 	tb := &table{header: []string{"metric", "value"}}
 	tb.addRow("workload", r.Workload)
 	tb.addRow("variant", r.Variant.String())
+	if catalog.NormalizeBackend(r.Backend) != "" {
+		tb.addRow("backend", r.Backend)
+	}
 	tb.addRow("malloc calls", fmt.Sprintf("%d", r.MallocCalls))
 	tb.addRow("free calls", fmt.Sprintf("%d", r.FreeCalls))
 	tb.addRow("malloc mean cycles", fmt.Sprintf("%.2f", r.MeanMallocCycles()))
@@ -35,6 +39,17 @@ func ReportForRun(r *Result, metrics bool) *Report {
 	if r.MC != nil {
 		tb.addRow("mc lookup hit rate", pct(100*r.MC.LookupHitRate()))
 		tb.addRow("mc pop hit rate", pct(100*r.MC.PopHitRate()))
+	}
+	if r.LockFree != nil {
+		calls := r.MallocCalls + r.FreeCalls
+		tb.addRow("lockfree pop hits", fmt.Sprintf("%d", r.LockFree.PopHits))
+		if calls > 0 {
+			tb.addRow("cas retries/call", fmt.Sprintf("%.3f", float64(r.LockFree.CASRetries)/float64(calls)))
+		}
+	}
+	if r.Offload != nil && r.Offload.Mallocs > 0 {
+		tb.addRow("offload roundtrip mean cycles", fmt.Sprintf("%.2f", float64(r.Offload.RoundTripCycles)/float64(r.Offload.Mallocs)))
+		tb.addRow("offload queue mean depth", fmt.Sprintf("%.3f", float64(r.Offload.DepthSum)/float64(r.Offload.Mallocs)))
 	}
 	rep.addTable("run summary", tb)
 	rep.Series = append(rep.Series, histSeries("time-in-calls", r))
@@ -53,6 +68,9 @@ func ReportForCluster(r *multicore.Result, metrics bool) *Report {
 	tb := &table{header: []string{"metric", "value"}}
 	tb.addRow("workload", r.Workload)
 	tb.addRow("variant", r.Variant.String())
+	if catalog.NormalizeBackend(r.Backend) != "" {
+		tb.addRow("backend", r.Backend)
+	}
 	tb.addRow("cores", fmt.Sprintf("%d", r.Cores))
 	tb.addRow("malloc calls", fmt.Sprintf("%d", r.MallocCalls))
 	tb.addRow("free calls", fmt.Sprintf("%d", r.FreeCalls))
@@ -65,6 +83,17 @@ func ReportForCluster(r *multicore.Result, metrics bool) *Report {
 	if r.MC != nil {
 		tb.addRow("mc lookup hit rate", pct(100*r.MCLookupHitRate()))
 		tb.addRow("mc pop hit rate", pct(100*r.MCPopHitRate()))
+	}
+	if r.LockFree != nil {
+		calls := r.MallocCalls + r.FreeCalls
+		tb.addRow("lockfree pop hits", fmt.Sprintf("%d", r.LockFree.PopHits))
+		if calls > 0 {
+			tb.addRow("cas retries/call", fmt.Sprintf("%.3f", float64(r.LockFree.CASRetries)/float64(calls)))
+		}
+	}
+	if r.Offload != nil && r.Offload.Mallocs > 0 {
+		tb.addRow("offload roundtrip mean cycles", fmt.Sprintf("%.2f", float64(r.Offload.RoundTripCycles)/float64(r.Offload.Mallocs)))
+		tb.addRow("offload queue mean depth", fmt.Sprintf("%.3f", float64(r.Offload.DepthSum)/float64(r.Offload.Mallocs)))
 	}
 	rep.addTable("cluster summary", tb)
 

@@ -1,0 +1,325 @@
+package lockfree
+
+import (
+	"testing"
+
+	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
+	"mallacc/internal/uop"
+)
+
+func newTestHeap(t testing.TB, mode tcmalloc.Mode) (*Heap, *Thread) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	h := New(cfg)
+	return h, h.NewThread()
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	h, th := newTestHeap(t, tcmalloc.ModeBaseline)
+	sizes := []uint64{1, 8, 16, 64, 100, 1024, 4096, 32 << 10}
+	var ptrs []uint64
+	for _, s := range sizes {
+		h.Em.Reset()
+		p := h.Alloc(th, s)
+		if p == 0 || p%8 != 0 {
+			t.Fatalf("Alloc(%d) = %#x, want non-zero 8-aligned", s, p)
+		}
+		ptrs = append(ptrs, p)
+	}
+	h.CheckInvariants()
+	for _, p := range ptrs {
+		h.Em.Reset()
+		h.Free(th, p)
+	}
+	h.CheckInvariants()
+	if h.FreeBlocks() != uint64(len(sizes)) {
+		t.Fatalf("FreeBlocks = %d, want %d", h.FreeBlocks(), len(sizes))
+	}
+	if h.Stats.Allocs != uint64(len(sizes)) || h.Stats.Frees != uint64(len(sizes)) {
+		t.Fatalf("stats %+v", h.Stats)
+	}
+}
+
+// TestConstantTimeReuse checks the Blelloch–Wei property the backend
+// exists for: a free-then-alloc of the same class is a stack push/pop that
+// reuses the block with an emitted trace whose length does not depend on
+// allocation history.
+func TestConstantTimeReuse(t *testing.T) {
+	h, th := newTestHeap(t, tcmalloc.ModeBaseline)
+	h.Em.Reset()
+	p := h.Alloc(th, 64)
+	h.Em.Reset()
+	h.Free(th, p)
+
+	h.Em.Reset()
+	q := h.Alloc(th, 64)
+	popLen := h.Em.Len()
+	if q != p {
+		t.Fatalf("free-then-alloc returned %#x, want reused %#x", q, p)
+	}
+	if h.Stats.PopHits != 1 {
+		t.Fatalf("PopHits = %d, want 1", h.Stats.PopHits)
+	}
+
+	// Pile up history: many live blocks and parked frees in other classes.
+	var live []uint64
+	for i := 0; i < 500; i++ {
+		h.Em.Reset()
+		live = append(live, h.Alloc(th, uint64(16+8*(i%40))))
+	}
+	for _, a := range live[:250] {
+		h.Em.Reset()
+		h.Free(th, a)
+	}
+
+	h.Em.Reset()
+	h.Free(th, q)
+	h.Em.Reset()
+	r := h.Alloc(th, 64)
+	if got := h.Em.Len(); got != popLen {
+		t.Fatalf("pop-hit trace length %d after history, want constant %d", got, popLen)
+	}
+	if r != q {
+		t.Fatalf("reuse broke after history: got %#x want %#x", r, q)
+	}
+	h.CheckInvariants()
+}
+
+func TestSizeClassIsolation(t *testing.T) {
+	h, th := newTestHeap(t, tcmalloc.ModeBaseline)
+	a := make(map[uint64]uint64) // ptr -> size
+	for i := 0; i < 200; i++ {
+		s := uint64(8 << (i % 6)) // 8..256
+		h.Em.Reset()
+		p := h.Alloc(th, s)
+		if _, dup := a[p]; dup {
+			t.Fatalf("pointer %#x handed out twice while live", p)
+		}
+		a[p] = s
+	}
+	// Blocks of distinct classes must not overlap.
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for p, s := range a {
+		class, rounded, ok := h.SizeMap.ClassFor(s)
+		if !ok || class == 0 {
+			t.Fatalf("no class for %d", s)
+		}
+		spans = append(spans, span{p - 8, p + rounded})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("blocks overlap: [%#x,%#x) and [%#x,%#x)",
+					spans[i].lo, spans[i].hi, spans[j].lo, spans[j].hi)
+			}
+		}
+	}
+	for p := range a {
+		h.Em.Reset()
+		h.Free(th, p)
+	}
+	h.CheckInvariants()
+}
+
+func TestLargeAllocRoundTrip(t *testing.T) {
+	h, th := newTestHeap(t, tcmalloc.ModeBaseline)
+	h.Em.Reset()
+	p := h.Alloc(th, tcmalloc.MaxSize+1)
+	if h.Stats.LargeAllocs != 1 {
+		t.Fatalf("LargeAllocs = %d", h.Stats.LargeAllocs)
+	}
+	h.Em.Reset()
+	h.Free(th, p)
+	if h.Stats.LargeFrees != 1 {
+		t.Fatalf("LargeFrees = %d", h.Stats.LargeFrees)
+	}
+	h.CheckInvariants()
+}
+
+// TestMallaccModeSamePointers: the accelerator changes emitted cost, never
+// allocator behavior.
+func TestMallaccModeSamePointers(t *testing.T) {
+	base, bt := newTestHeap(t, tcmalloc.ModeBaseline)
+	acc, at := newTestHeap(t, tcmalloc.ModeMallacc)
+	var freedB, freedA []uint64
+	for i := 0; i < 300; i++ {
+		s := uint64(1 + (i*37)%2000)
+		base.Em.Reset()
+		acc.Em.Reset()
+		pb := base.Alloc(bt, s)
+		pa := acc.Alloc(at, s)
+		if pb != pa {
+			t.Fatalf("call %d: baseline %#x vs mallacc %#x", i, pb, pa)
+		}
+		if i%3 == 0 {
+			freedB = append(freedB, pb)
+			freedA = append(freedA, pa)
+		}
+		if i%7 == 6 && len(freedB) > 0 {
+			base.Em.Reset()
+			acc.Em.Reset()
+			base.Free(bt, freedB[0])
+			acc.Free(at, freedA[0])
+			freedB, freedA = freedB[1:], freedA[1:]
+		}
+	}
+	if acc.MC == nil || acc.MC.Stats.LookupHits == 0 {
+		t.Fatal("mallacc mode never hit the size-class cache")
+	}
+	if acc.MC.Config().IndexMode {
+		t.Fatal("lockfree MC must run raw-size keyed (IndexMode off)")
+	}
+	base.CheckInvariants()
+	acc.CheckInvariants()
+}
+
+type fixedContention struct{ n int }
+
+func (f fixedContention) Retries(class uint8) int { return f.n }
+
+func TestContentionExpandsCAS(t *testing.T) {
+	quiet, qt := newTestHeap(t, tcmalloc.ModeBaseline)
+	noisy, nt := newTestHeap(t, tcmalloc.ModeBaseline)
+	noisy.Contention = fixedContention{n: 3}
+
+	quiet.Em.Reset()
+	p := quiet.Alloc(qt, 64)
+	quiet.Em.Reset()
+	quiet.Free(qt, p)
+	quietLen := quiet.Em.Len()
+
+	noisy.Em.Reset()
+	p = noisy.Alloc(nt, 64)
+	noisy.Em.Reset()
+	noisy.Free(nt, p)
+	if noisy.Em.Len() <= quietLen {
+		t.Fatalf("contended free trace %d uops, want > quiet %d", noisy.Em.Len(), quietLen)
+	}
+	// The first alloc carved (fetch-add, no CAS loop); only the push CAS
+	// paid retries. A pop-hit alloc then pays its own.
+	if noisy.Stats.CASRetries != 3 || noisy.Stats.CASAttempts != 4 {
+		t.Fatalf("CAS stats %+v, want 3 retries / 4 attempts after push", noisy.Stats)
+	}
+	noisy.Em.Reset()
+	noisy.Alloc(nt, 64)
+	if noisy.Stats.CASRetries != 6 || noisy.Stats.CASAttempts != 8 {
+		t.Fatalf("CAS stats %+v, want 6 retries / 8 attempts after pop", noisy.Stats)
+	}
+	if quiet.Stats.CASRetries != 0 {
+		t.Fatalf("quiet heap recorded %d retries", quiet.Stats.CASRetries)
+	}
+}
+
+func TestDoubleFreePanicsViaInvariants(t *testing.T) {
+	h, th := newTestHeap(t, tcmalloc.ModeBaseline)
+	h.Em.Reset()
+	p := h.Alloc(th, 64)
+	h.Em.Reset()
+	h.Free(th, p)
+	h.Em.Reset()
+	h.Free(th, p) // corrupts the stack: p links to itself
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckInvariants did not detect the double free")
+		}
+	}()
+	h.CheckInvariants()
+}
+
+func TestRegisterMetricsNamespace(t *testing.T) {
+	h, th := newTestHeap(t, tcmalloc.ModeMallacc)
+	h.Em.Reset()
+	h.Free(th, h.Alloc(th, 64))
+	reg := telemetry.NewRegistry()
+	h.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"lockfree.allocs", "lockfree.frees", "lockfree.pop_hits", "lockfree.carves",
+		"lockfree.slab_refills", "lockfree.large_allocs", "lockfree.large_frees",
+		"lockfree.cas.attempts", "lockfree.cas.retries",
+		"lockfree.free_blocks", "lockfree.carved_blocks",
+		"mc.lookup.hits",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("metric %q not registered", name)
+		}
+	}
+	for _, name := range []string{"lockfree.allocs", "lockfree.cas.retries"} {
+		if m, _ := snap.Get(name); m.Help == "" {
+			t.Errorf("metric %q has no Describe help", name)
+		}
+	}
+	if err := telemetry.LintOpenMetrics(telemetry.OpenMetrics(snap)); err != nil {
+		t.Fatalf("lockfree namespace fails OpenMetrics lint: %v", err)
+	}
+}
+
+// FuzzLockFree drives a random alloc/free schedule and checks the three
+// ownership invariants: a block is never owned twice, free-then-alloc
+// reuses constant-time, and classes never alias each other's memory.
+func FuzzLockFree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 255, 255, 9, 9, 9, 1, 128, 64, 32})
+	f.Add([]byte{10, 200, 10, 200, 10, 200})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		cfg := DefaultConfig()
+		if len(program) > 0 && program[0]%2 == 1 {
+			cfg.Mode = tcmalloc.ModeMallacc
+		}
+		h := New(cfg)
+		th := h.NewThread()
+		live := make(map[uint64]bool)
+		var order []uint64
+		for i, b := range program {
+			if b%3 != 0 || len(order) == 0 {
+				size := uint64(b)*uint64(i+1)%4096 + 1
+				h.Em.Reset()
+				p := h.Alloc(th, size)
+				if live[p] {
+					t.Fatalf("op %d: block %#x allocated while already live", i, p)
+				}
+				live[p] = true
+				order = append(order, p)
+			} else {
+				idx := int(b) % len(order)
+				p := order[idx]
+				order = append(order[:idx], order[idx+1:]...)
+				delete(live, p)
+				h.Em.Reset()
+				h.Free(th, p)
+			}
+		}
+		h.CheckInvariants()
+		carved, free := h.CarvedBlocks(), h.FreeBlocks()
+		if carved < free {
+			t.Fatalf("carved %d < free %d", carved, free)
+		}
+		if int(carved-free) != len(live)-int(h.Stats.LargeAllocs-h.Stats.LargeFrees) {
+			t.Fatalf("live accounting: carved-free=%d, live=%d (large delta %d)",
+				carved-free, len(live), h.Stats.LargeAllocs-h.Stats.LargeFrees)
+		}
+	})
+}
+
+// BenchmarkLockFreeAllocFree measures the functional+emission cost of a
+// pop-hit alloc/push free pair, the backend's whole fast path.
+func BenchmarkLockFreeAllocFree(b *testing.B) {
+	h := New(DefaultConfig())
+	th := h.NewThread()
+	h.Em.Reset()
+	p := h.Alloc(th, 64)
+	h.Em.Reset()
+	h.Free(th, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Em.Reset()
+		a := h.Alloc(th, 64)
+		h.Em.Reset()
+		h.Free(th, a)
+	}
+	_ = uop.NoDep
+}

@@ -1,0 +1,147 @@
+package multicore
+
+import (
+	"bytes"
+	"testing"
+
+	"mallacc/internal/catalog"
+)
+
+// TestLockFreeBackendDeterminism: the -race concurrent smoke the issue
+// asks for — the lock-free backend under the full multicore scheduler with
+// cross-core frees must be byte-identical per seed, including when this
+// test runs under `go test -race`.
+func TestLockFreeBackendDeterminism(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Mallacc} {
+		cfg := Config{
+			Cores:        4,
+			Backend:      catalog.BackendLockFree,
+			Variant:      variant,
+			Workload:     wl(t, "ubench.gauss_free"),
+			CallsPerCore: 3000,
+			Seed:         1,
+		}
+		a := Run(cfg)
+		b := Run(cfg)
+		if !bytes.Equal(snapshotJSON(t, a), snapshotJSON(t, b)) {
+			t.Fatalf("%v: lockfree telemetry differs between identical runs", variant)
+		}
+		if a.LockFree == nil || a.LockFree.Allocs == 0 {
+			t.Fatalf("%v: no lock-free stats collected", variant)
+		}
+		if a.Backend != catalog.BackendLockFree {
+			t.Fatalf("Result.Backend = %q", a.Backend)
+		}
+		// No locks exist on this backend.
+		if a.CentralLock.Acquisitions != 0 || a.PageHeapLock.Acquisitions != 0 {
+			t.Fatalf("%v: lock stats nonzero on the lock-free backend", variant)
+		}
+		if variant == Mallacc && (a.MC == nil || a.MC.LookupHits == 0) {
+			t.Fatal("lockfree+mallacc: per-core size-class caches never hit")
+		}
+		if variant == Baseline && a.MC != nil {
+			t.Fatal("lockfree baseline grew an MC aggregate")
+		}
+	}
+}
+
+// TestLockFreeContentionScales: more cores hammering the same classes must
+// surface as CAS retries, the backend's analogue of lock wait cycles.
+func TestLockFreeContentionScales(t *testing.T) {
+	run := func(cores int) *Result {
+		return Run(Config{
+			Cores:        cores,
+			Backend:      catalog.BackendLockFree,
+			Workload:     wl(t, "ubench.tp_small"),
+			CallsPerCore: 3000,
+			Seed:         1,
+		})
+	}
+	one := run(1)
+	eight := run(8)
+	if one.LockFree.CASRetries != 0 {
+		t.Fatalf("single core saw %d CAS retries", one.LockFree.CASRetries)
+	}
+	if eight.LockFree.CASRetries == 0 {
+		t.Fatal("8 cores saw no CAS retries; contention model inert")
+	}
+	if v := eight.Telemetry.Value("lockfree.cas.retries"); v == 0 {
+		t.Fatal("lockfree.cas.retries metric not wired")
+	}
+}
+
+// TestOffloadVariantDeterminism: the offload engine's logical clocks must
+// stay a pure function of the schedule.
+func TestOffloadVariantDeterminism(t *testing.T) {
+	cfg := Config{
+		Cores:        4,
+		Variant:      Offload,
+		Workload:     wl(t, "ubench.gauss_free"),
+		CallsPerCore: 2000,
+		Seed:         1,
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if !bytes.Equal(snapshotJSON(t, a), snapshotJSON(t, b)) {
+		t.Fatal("offload telemetry differs between identical runs")
+	}
+	if a.Offload == nil || a.Offload.Mallocs == 0 {
+		t.Fatal("no offload stats collected")
+	}
+	if a.Offload.Mallocs != a.MallocCalls || a.Offload.Frees != a.FreeCalls {
+		t.Fatalf("offload engine saw %d/%d calls, cores issued %d/%d",
+			a.Offload.Mallocs, a.Offload.Frees, a.MallocCalls, a.FreeCalls)
+	}
+	// Fire-and-forget frees: no remote-free posting on this variant.
+	if a.RemoteFrees != 0 {
+		t.Fatalf("offload run posted %d remote frees", a.RemoteFrees)
+	}
+	if _, ok := a.Telemetry.Get("offload.roundtrip_cycles"); !ok {
+		t.Fatal("offload.* metrics not registered")
+	}
+	if _, ok := a.Telemetry.Get("alloccore.cpu.cycles"); !ok {
+		t.Fatal("allocation-core metrics not registered under alloccore.*")
+	}
+}
+
+// TestOffloadQueueingScales: one allocation core serving more requesters
+// must queue — mean malloc latency grows with core count.
+func TestOffloadQueueingScales(t *testing.T) {
+	run := func(cores int) *Result {
+		return Run(Config{
+			Cores:        cores,
+			Variant:      Offload,
+			Workload:     wl(t, "ubench.tp_small"),
+			CallsPerCore: 2000,
+			Seed:         1,
+		})
+	}
+	one := run(1)
+	eight := run(8)
+	if eight.Offload.QueueWaitCycles <= one.Offload.QueueWaitCycles {
+		t.Fatalf("queue wait did not grow with cores: 1-core %d, 8-core %d",
+			one.Offload.QueueWaitCycles, eight.Offload.QueueWaitCycles)
+	}
+	if eight.MeanMallocCycles() <= one.MeanMallocCycles() {
+		t.Fatalf("offload malloc latency did not grow with cores: %.1f vs %.1f",
+			one.MeanMallocCycles(), eight.MeanMallocCycles())
+	}
+}
+
+// TestInvalidComboPanics: the engine enforces the catalog's combo rules.
+func TestInvalidComboPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Backend: catalog.BackendLockFree, Variant: Offload, Workload: wl(t, "ubench.tp_small")},
+		{Backend: catalog.BackendLockFree, Variant: Limit, Workload: wl(t, "ubench.tp_small")},
+		{Backend: "slab", Workload: wl(t, "ubench.tp_small")},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -3,6 +3,7 @@ package multicore
 import (
 	"mallacc/internal/core"
 	"mallacc/internal/cpu"
+	"mallacc/internal/lockfree"
 	"mallacc/internal/mem"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
@@ -40,9 +41,10 @@ type coreState struct {
 	eng *Engine
 	id  int
 	cpu *cpu.Core
-	tc  *tcmalloc.ThreadCache
-	mc  *core.MallocCache   // nil unless Variant == Mallacc
-	hw  *core.SampleCounter // nil unless Variant == Mallacc
+	tc  *tcmalloc.ThreadCache // nil on non-tcmalloc substrates
+	lft *lockfree.Thread      // nil unless Backend == "lockfree"
+	mc  *core.MallocCache     // nil unless Variant == Mallacc
+	hw  *core.SampleCounter   // nil unless Variant == Mallacc on tcmalloc
 	rng *stats.RNG
 
 	budget   int
@@ -62,7 +64,14 @@ type coreState struct {
 func (cs *coreState) Malloc(size uint64) uint64 {
 	cs.checkpoint()
 	cs.drainInbox()
-	h := cs.eng.heap
+	eng := cs.eng
+	switch {
+	case eng.off != nil:
+		return cs.mallocOffload(size)
+	case eng.lf != nil:
+		return cs.mallocLockfree(size)
+	}
+	h := eng.heap
 	h.Em.Reset()
 	fastBefore := h.Stats.FastHits
 	addr := h.Malloc(cs.tc, size)
@@ -77,10 +86,48 @@ func (cs *coreState) Malloc(size uint64) uint64 {
 	return addr
 }
 
+// mallocOffload dispatches the allocation to the shared allocation core;
+// the requester trace (marshal + stall + response) runs on this core.
+func (cs *coreState) mallocOffload(size uint64) uint64 {
+	eng := cs.eng
+	em := eng.offEm
+	em.Reset()
+	addr := eng.off.Malloc(em, cs.cpu.Cycle(), size)
+	cyc := cs.cpu.RunTrace(em.Trace())
+	cs.res.MallocCycles += cyc
+	cs.res.MallocCalls++
+	eng.trackLive(addr, size)
+	return addr
+}
+
+// mallocLockfree pops the shared lock-free heap on this core.
+func (cs *coreState) mallocLockfree(size uint64) uint64 {
+	eng := cs.eng
+	h := eng.lf
+	h.Em.Reset()
+	popBefore := h.Stats.PopHits
+	addr := h.Alloc(cs.lft, size)
+	cyc := cs.cpu.RunTrace(h.Em.Trace())
+	cs.res.MallocCycles += cyc
+	cs.res.MallocCalls++
+	if h.Stats.PopHits != popBefore {
+		cs.res.FastMallocCycles += cyc
+		cs.res.FastMallocCalls++
+	}
+	eng.trackLive(addr, size)
+	return addr
+}
+
 func (cs *coreState) Free(addr uint64, sizeHint uint64) {
 	cs.checkpoint()
 	cs.drainInbox()
 	eng := cs.eng
+	if eng.off != nil {
+		// Every free already travels to the allocation core; posting to a
+		// peer requester first would just add a hop that changes nothing.
+		cs.freeLocal(addr, sizeHint)
+		return
+	}
 	if len(eng.cores) > 1 && eng.cfg.RemoteFreeProb > 0 && cs.rng.Bernoulli(eng.cfg.RemoteFreeProb) {
 		// Post to a peer: the consumer executes the free on its own core,
 		// returning this core's memory through its thread cache and the
@@ -106,8 +153,27 @@ func (cs *coreState) pickPeer() int {
 
 // freeLocal executes one free on this core.
 func (cs *coreState) freeLocal(addr, sizeHint uint64) {
-	h := cs.eng.heap
-	cs.eng.untrackLive(addr)
+	eng := cs.eng
+	eng.untrackLive(addr)
+	switch {
+	case eng.off != nil:
+		em := eng.offEm
+		em.Reset()
+		eng.off.Free(em, cs.cpu.Cycle(), addr, sizeHint)
+		cyc := cs.cpu.RunTrace(em.Trace())
+		cs.res.FreeCycles += cyc
+		cs.res.FreeCalls++
+		return
+	case eng.lf != nil:
+		h := eng.lf
+		h.Em.Reset()
+		h.Free(cs.lft, addr)
+		cyc := cs.cpu.RunTrace(h.Em.Trace())
+		cs.res.FreeCycles += cyc
+		cs.res.FreeCalls++
+		return
+	}
+	h := eng.heap
 	h.Em.Reset()
 	h.Free(cs.tc, addr, sizeHint)
 	cyc := cs.cpu.RunTrace(h.Em.Trace())
@@ -153,7 +219,7 @@ func (cs *coreState) Antagonize() {
 // mutex is held whenever a core executes).
 func (eng *Engine) trackLive(addr, size uint64) {
 	rounded := size
-	if _, r, ok := eng.heap.SizeMap.ClassFor(size); ok {
+	if _, r, ok := eng.sizeMap().ClassFor(size); ok {
 		rounded = r
 	} else {
 		rounded = mem.RoundUp(size, mem.PageSize)
@@ -169,5 +235,18 @@ func (eng *Engine) untrackLive(addr uint64) {
 	if r, ok := eng.liveSizes[addr]; ok {
 		eng.liveBytes -= r
 		delete(eng.liveSizes, addr)
+	}
+}
+
+// sizeMap returns the active substrate's size map (all substrates reuse
+// TCMalloc's classes, so footprint accounting is comparable across them).
+func (eng *Engine) sizeMap() *tcmalloc.SizeMap {
+	switch {
+	case eng.heap != nil:
+		return eng.heap.SizeMap
+	case eng.lf != nil:
+		return eng.lf.SizeMap
+	default:
+		return eng.off.Heap.SizeMap
 	}
 }

@@ -37,9 +37,12 @@ import (
 	"sync"
 
 	"mallacc/internal/cachesim"
+	"mallacc/internal/catalog"
 	"mallacc/internal/core"
 	"mallacc/internal/cpu"
+	"mallacc/internal/lockfree"
 	"mallacc/internal/mem"
+	"mallacc/internal/offload"
 	"mallacc/internal/progress"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
@@ -61,6 +64,9 @@ const (
 	// Limit ignores the three fast-path steps in timing (the paper's
 	// limit study) on every core.
 	Limit
+	// Offload dispatches every core's malloc/free over a modeled queue to
+	// one dedicated lightweight allocation core (internal/offload).
+	Offload
 )
 
 func (v Variant) String() string {
@@ -69,6 +75,8 @@ func (v Variant) String() string {
 		return "mallacc"
 	case Limit:
 		return "limit"
+	case Offload:
+		return "offload"
 	default:
 		return "baseline"
 	}
@@ -78,8 +86,11 @@ func (v Variant) String() string {
 type Config struct {
 	// Cores is the number of simulated cores (default 2).
 	Cores int
-	// Variant selects baseline / mallacc / limit.
+	// Variant selects baseline / mallacc / limit / offload.
 	Variant Variant
+	// Backend selects the allocator substrate by catalog name
+	// ("tcmalloc", the default, or "lockfree").
+	Backend string
 	// MCEntries sizes each core's malloc cache (default 32).
 	MCEntries int
 	// Workload generates every core's shard; each core runs it with its
@@ -119,6 +130,9 @@ func (cfg Config) WithDefaults() Config {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 2
 	}
+	if cfg.Backend == "" {
+		cfg.Backend = catalog.BackendTCMalloc
+	}
 	if cfg.MCEntries <= 0 {
 		cfg.MCEntries = 32
 	}
@@ -140,11 +154,18 @@ func (cfg Config) WithDefaults() Config {
 }
 
 // Engine owns the shared heap, the per-core states and the scheduler.
+// Exactly one of heap / lf is the shared allocator substrate; off, when
+// non-nil, owns its own TCMalloc heap on the allocation core and the
+// shared heap is absent.
 type Engine struct {
 	cfg   Config
 	heap  *tcmalloc.Heap
+	lf    *lockfree.Heap  // Backend == "lockfree"
+	off   *offload.Engine // Variant == Offload
+	offEm *uop.Emitter    // scratch emitter for requester-side offload traces
 	cores []*coreState
 	locks *lockTable
+	cas   *casTable
 	reg   *telemetry.Registry
 
 	mu     sync.Mutex
@@ -167,26 +188,54 @@ func New(cfg Config) *Engine {
 	if cfg.Workload == nil {
 		panic("multicore: Config.Workload is required")
 	}
-
-	hCfg := tcmalloc.DefaultConfig()
-	hCfg.Seed = cfg.Seed
-	mcCfg := core.Config{Entries: cfg.MCEntries, IndexMode: true}
-	if cfg.Variant == Mallacc {
-		hCfg.Mode = tcmalloc.ModeMallacc
-		hCfg.MallocCache = mcCfg
+	if err := catalog.CheckCombo(cfg.Backend, cfg.Variant.String()); err != nil {
+		panic("multicore: " + err.Error())
 	}
-	heap := tcmalloc.New(hCfg)
 
 	eng := &Engine{
 		cfg:       cfg,
-		heap:      heap,
 		reg:       cfg.Registry,
 		track:     progress.NewTracker(cfg.Progress, cfg.ProgressEvery),
 		liveSizes: map[uint64]uint64{},
 	}
 	eng.cond = sync.NewCond(&eng.mu)
-	eng.locks = newLockTable(eng)
-	heap.SetLockModel(eng.locks)
+
+	// Build the allocator substrate. Per-core accelerator state (malloc
+	// cache, sampling counter) is swapped in by setActive, so any
+	// heap-owned instance is discarded before metric registration.
+	mcCfg := core.Config{Entries: cfg.MCEntries, IndexMode: true}
+	switch {
+	case cfg.Variant == Offload:
+		// One TCMalloc heap lives on the dedicated allocation core; the
+		// requester cores share nothing, so there is no lock model and
+		// no per-core allocator state at all.
+		oCfg := offload.DefaultConfig()
+		oCfg.Seed = cfg.Seed
+		oCfg.Heap.Seed = cfg.Seed
+		eng.off = offload.New(oCfg)
+		eng.offEm = uop.NewEmitter()
+		eng.metaBytes = eng.off.Heap.Space.SbrkBytes
+	case cfg.Backend == catalog.BackendLockFree:
+		lfCfg := lockfree.DefaultConfig()
+		lfCfg.Seed = cfg.Seed
+		if cfg.Variant == Mallacc {
+			lfCfg.Mode = tcmalloc.ModeMallacc
+		}
+		eng.lf = lockfree.New(lfCfg)
+		eng.cas = newCASTable(eng)
+		eng.lf.Contention = eng.cas
+		eng.metaBytes = eng.lf.Space.SbrkBytes
+	default:
+		hCfg := tcmalloc.DefaultConfig()
+		hCfg.Seed = cfg.Seed
+		if cfg.Variant == Mallacc {
+			hCfg.Mode = tcmalloc.ModeMallacc
+			hCfg.MallocCache = mcCfg
+		}
+		eng.heap = tcmalloc.New(hCfg)
+		eng.locks = newLockTable(eng)
+		eng.heap.SetLockModel(eng.locks)
+	}
 
 	cCfg := cpu.DefaultConfig()
 	if cfg.Variant == Limit {
@@ -205,12 +254,23 @@ func New(cfg Config) *Engine {
 			eng: eng,
 			id:  i,
 			cpu: cpu.New(cCfg, cachesim.NewDefaultHierarchy()),
-			tc:  heap.NewThread(),
 			rng: stats.NewRNG(cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0x85ebca77 + 0xc2b2),
 		}
+		switch {
+		case eng.heap != nil:
+			cs.tc = eng.heap.NewThread()
+		case eng.lf != nil:
+			cs.lft = eng.lf.NewThread()
+		}
 		if cfg.Variant == Mallacc {
-			cs.mc = core.New(mcCfg)
-			cs.hw = &core.SampleCounter{}
+			if eng.lf != nil {
+				// Raw-size keyed: the lock-free backend has no Figure-5
+				// class index, and no sampling machinery to count.
+				cs.mc = core.New(core.Config{Entries: cfg.MCEntries})
+			} else {
+				cs.mc = core.New(mcCfg)
+				cs.hw = &core.SampleCounter{}
+			}
 		}
 		if footLines > 0 {
 			cs.footBase = uint64(1) << 40
@@ -222,13 +282,13 @@ func New(cfg Config) *Engine {
 		}
 		eng.cores = append(eng.cores, cs)
 	}
-	// The heap was built with its own accelerator state; in multicore mode
-	// the malloc cache and sampling counter are per-core, swapped in by
-	// setActive, so the heap-owned ones are discarded before registration
-	// (otherwise heap.RegisterMetrics would claim the bare "mc.*" names
-	// for a single core).
-	heap.MC, heap.HWCounter = nil, nil
-	eng.metaBytes = heap.Space.SbrkBytes
+	if eng.heap != nil {
+		eng.heap.MC, eng.heap.HWCounter = nil, nil
+		eng.metaBytes = eng.heap.Space.SbrkBytes
+	}
+	if eng.lf != nil {
+		eng.lf.MC = nil
+	}
 	eng.registerMetrics()
 	return eng
 }
@@ -306,8 +366,13 @@ func (eng *Engine) setActive(id int) {
 	cs := eng.cores[id]
 	eng.turn = id
 	eng.active = cs
-	eng.heap.MC = cs.mc
-	eng.heap.HWCounter = cs.hw
+	if eng.heap != nil {
+		eng.heap.MC = cs.mc
+		eng.heap.HWCounter = cs.hw
+	}
+	if eng.lf != nil {
+		eng.lf.MC = cs.mc
+	}
 }
 
 // Run executes every core's shard to completion and returns the collected
@@ -345,8 +410,16 @@ func (eng *Engine) Run() *Result {
 	eng.track.Finish(wall, eng.fillSnapshot)
 	eng.mu.Unlock()
 	res := eng.collect()
-	// The engine is single-shot; return the shared heap's trace slab.
-	eng.heap.Em.Recycle()
+	// The engine is single-shot; return the substrate's trace slabs.
+	switch {
+	case eng.heap != nil:
+		eng.heap.Em.Recycle()
+	case eng.lf != nil:
+		eng.lf.Em.Recycle()
+	case eng.off != nil:
+		eng.off.Heap.Em.Recycle()
+		eng.offEm.Recycle()
+	}
 	return res
 }
 

@@ -2,6 +2,8 @@ package multicore
 
 import (
 	"mallacc/internal/core"
+	"mallacc/internal/lockfree"
+	"mallacc/internal/offload"
 	"mallacc/internal/tcmalloc"
 	"mallacc/internal/telemetry"
 	"mallacc/internal/uop"
@@ -14,6 +16,7 @@ import (
 type Result struct {
 	Cores    int
 	Variant  Variant
+	Backend  string
 	Workload string
 
 	PerCore []CoreStats
@@ -39,6 +42,12 @@ type Result struct {
 	Heap tcmalloc.HeapStats
 	// MC sums the per-core malloc-cache stats (Mallacc variant only).
 	MC *core.Stats
+	// LockFree holds the shared lock-free heap's stats (lockfree backend
+	// only; nil otherwise).
+	LockFree *lockfree.Stats
+	// Offload holds the allocation-core engine's stats (Offload variant
+	// only; nil otherwise).
+	Offload *offload.Stats
 
 	Telemetry telemetry.Snapshot
 }
@@ -98,6 +107,7 @@ func (eng *Engine) collect() *Result {
 	res := &Result{
 		Cores:    len(eng.cores),
 		Variant:  eng.cfg.Variant,
+		Backend:  eng.cfg.Backend,
 		Workload: eng.cfg.Workload.Name(),
 		Epochs:   eng.epoch,
 		Yields:   eng.yields,
@@ -134,13 +144,27 @@ func (eng *Engine) collect() *Result {
 	if eng.cfg.Variant == Mallacc {
 		res.MC = &mcAgg
 	}
-	res.CentralLock = eng.locks.stats[tcmalloc.LockCentral]
-	res.PageHeapLock = eng.locks.stats[tcmalloc.LockPageHeap]
-	res.OSBytes = eng.heap.Space.SbrkBytes - eng.metaBytes
 	res.PeakLiveBytes = eng.peakLive
-	res.Heap = eng.heap.Stats
+	switch {
+	case eng.heap != nil:
+		res.CentralLock = eng.locks.stats[tcmalloc.LockCentral]
+		res.PageHeapLock = eng.locks.stats[tcmalloc.LockPageHeap]
+		res.OSBytes = eng.heap.Space.SbrkBytes - eng.metaBytes
+		res.Heap = eng.heap.Stats
+		eng.heap.CheckInvariants()
+	case eng.lf != nil:
+		res.OSBytes = eng.lf.Space.SbrkBytes - eng.metaBytes
+		lfStats := eng.lf.Stats
+		res.LockFree = &lfStats
+		eng.lf.CheckInvariants()
+	case eng.off != nil:
+		res.OSBytes = eng.off.Heap.Space.SbrkBytes - eng.metaBytes
+		res.Heap = eng.off.Heap.Stats
+		offStats := eng.off.Stats
+		res.Offload = &offStats
+		eng.off.Heap.CheckInvariants()
+	}
 	res.Telemetry = eng.reg.Snapshot()
-	eng.heap.CheckInvariants()
 	return res
 }
 
@@ -150,7 +174,18 @@ func (eng *Engine) collect() *Result {
 // "engine.*" / "agg.*".
 func (eng *Engine) registerMetrics() {
 	reg := eng.reg
-	eng.heap.RegisterMetrics(reg) // heap.MC/HWCounter are nil here: per-core state registers below
+	switch {
+	case eng.heap != nil:
+		eng.heap.RegisterMetrics(reg) // heap.MC/HWCounter are nil here: per-core state registers below
+	case eng.lf != nil:
+		eng.lf.RegisterMetrics(reg) // lf.MC is nil here: per-core caches register below
+	case eng.off != nil:
+		eng.off.RegisterMetrics(reg)
+		eng.off.Heap.RegisterMetrics(reg)
+		alloccore := reg.Sub("alloccore.")
+		eng.off.Core.RegisterMetrics(alloccore)
+		eng.off.Core.Memory().RegisterMetrics(alloccore)
+	}
 
 	stepNames := make([]string, uop.NumSteps)
 	for i := range stepNames {
@@ -181,13 +216,15 @@ func (eng *Engine) registerMetrics() {
 		sub.Counter("run.yields", func() uint64 { return cs.res.Yields })
 	}
 
-	for _, site := range []tcmalloc.LockSite{tcmalloc.LockCentral, tcmalloc.LockPageHeap} {
-		site := site
-		p := "lock." + site.String() + "."
-		reg.Counter(p+"acquisitions", func() uint64 { return eng.locks.stats[site].Acquisitions })
-		reg.Counter(p+"contended", func() uint64 { return eng.locks.stats[site].Contended })
-		reg.Counter(p+"wait_cycles", func() uint64 { return eng.locks.stats[site].WaitCycles })
-		reg.Counter(p+"handoff_cycles", func() uint64 { return eng.locks.stats[site].HandoffCycles })
+	if eng.locks != nil {
+		for _, site := range []tcmalloc.LockSite{tcmalloc.LockCentral, tcmalloc.LockPageHeap} {
+			site := site
+			p := "lock." + site.String() + "."
+			reg.Counter(p+"acquisitions", func() uint64 { return eng.locks.stats[site].Acquisitions })
+			reg.Counter(p+"contended", func() uint64 { return eng.locks.stats[site].Contended })
+			reg.Counter(p+"wait_cycles", func() uint64 { return eng.locks.stats[site].WaitCycles })
+			reg.Counter(p+"handoff_cycles", func() uint64 { return eng.locks.stats[site].HandoffCycles })
+		}
 	}
 
 	reg.Gauge("engine.cores", func() float64 { return float64(len(eng.cores)) })
@@ -221,9 +258,11 @@ func (eng *Engine) registerMetrics() {
 		return telemetry.Rate(sum(func(cs *coreState) uint64 { return cs.res.MallocCycles })(),
 			sum(func(cs *coreState) uint64 { return cs.res.MallocCalls })())
 	})
-	reg.Gauge("lock.central.cycles_per_call", func() float64 {
-		return telemetry.Rate(eng.locks.stats[tcmalloc.LockCentral].Cycles(), allocCalls())
-	})
+	if eng.locks != nil {
+		reg.Gauge("lock.central.cycles_per_call", func() float64 {
+			return telemetry.Rate(eng.locks.stats[tcmalloc.LockCentral].Cycles(), allocCalls())
+		})
+	}
 	if eng.cfg.Variant == Mallacc {
 		mcSum := func(read func(core.Stats) uint64) func() uint64 {
 			return sum(func(cs *coreState) uint64 { return read(cs.mc.Stats) })

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 
+	"mallacc/internal/catalog"
 	"mallacc/internal/core"
 	"mallacc/internal/harness"
 	"mallacc/internal/multicore"
@@ -21,6 +22,7 @@ import (
 type runKey struct {
 	Workload           string
 	Variant            uint8
+	Backend            string
 	MCEntries          int
 	IndexModeOff       bool
 	DropSteps          [uop.NumSteps]bool
@@ -82,9 +84,12 @@ func runKeyOf(opt harness.Options) (string, bool) {
 	if !opt.UseDropSteps {
 		opt.DropSteps = [uop.NumSteps]bool{}
 	}
+	// "tcmalloc" and "" are the same substrate; keys must collide.
+	opt.Backend = catalog.NormalizeBackend(opt.Backend)
 	k := runKey{
 		Workload:           name,
 		Variant:            uint8(opt.Variant),
+		Backend:            opt.Backend,
 		MCEntries:          opt.MCEntries,
 		IndexModeOff:       opt.IndexModeOff,
 		DropSteps:          opt.DropSteps,
@@ -111,6 +116,7 @@ func runKeyOf(opt harness.Options) (string, bool) {
 type clusterKey struct {
 	Cores          int
 	Variant        uint8
+	Backend        string
 	MCEntries      int
 	Workload       string
 	CallsPerCore   int
@@ -139,6 +145,7 @@ func clusterKeyOf(cfg multicore.Config) (string, bool) {
 	k := clusterKey{
 		Cores:          n.Cores,
 		Variant:        uint8(n.Variant),
+		Backend:        catalog.NormalizeBackend(n.Backend),
 		MCEntries:      n.MCEntries,
 		Workload:       name,
 		CallsPerCore:   n.CallsPerCore,

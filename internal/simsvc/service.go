@@ -402,6 +402,7 @@ func (s JobSpec) runOptions(w workload.Workload) harness.Options {
 	return harness.Options{
 		Workload:  w,
 		Variant:   runVariantOf(s.Variant),
+		Backend:   s.Backend,
 		MCEntries: s.MCEntries,
 		Calls:     s.Calls,
 		Seed:      s.Seed,
@@ -418,6 +419,7 @@ func (s JobSpec) clusterConfig(w workload.Workload) multicore.Config {
 	return multicore.Config{
 		Cores:        s.Cores,
 		Variant:      clusterVariantOf(s.Variant),
+		Backend:      s.Backend,
 		MCEntries:    s.MCEntries,
 		Workload:     w,
 		CallsPerCore: perCore,
@@ -431,6 +433,8 @@ func runVariantOf(v string) harness.Variant {
 		return harness.VariantMallacc
 	case "limit":
 		return harness.VariantLimit
+	case "offload":
+		return harness.VariantOffload
 	default:
 		return harness.VariantBaseline
 	}
@@ -442,6 +446,8 @@ func clusterVariantOf(v string) multicore.Variant {
 		return multicore.Mallacc
 	case "limit":
 		return multicore.Limit
+	case "offload":
+		return multicore.Offload
 	default:
 		return multicore.Baseline
 	}

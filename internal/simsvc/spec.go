@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mallacc/internal/catalog"
 	"mallacc/internal/harness"
 	"mallacc/internal/workload"
 )
@@ -51,9 +52,13 @@ type JobSpec struct {
 
 	// Workload names a stock workload (run/cluster kinds, required).
 	Workload string `json:"workload,omitempty"`
-	// Variant is baseline, mallacc or limit (run/cluster kinds, default
-	// baseline).
+	// Variant is baseline, mallacc, limit or offload (run/cluster kinds,
+	// default baseline).
 	Variant string `json:"variant,omitempty"`
+	// Backend selects the allocator substrate: tcmalloc (default) or
+	// lockfree. Canonicalization drops the explicit tcmalloc spelling so
+	// the default substrate keeps its historical content address.
+	Backend string `json:"backend,omitempty"`
 	// MCEntries sizes the malloc cache (run/cluster kinds, default 32).
 	MCEntries int `json:"mc_entries,omitempty"`
 
@@ -201,8 +206,8 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		if _, ok := harness.ByID(c.Experiment); !ok {
 			return fail("unknown experiment %q", c.Experiment)
 		}
-		if c.Workload != "" || c.Variant != "" || c.MCEntries != 0 {
-			return fail("workload/variant/mc_entries are not valid for experiment jobs")
+		if c.Workload != "" || c.Variant != "" || c.Backend != "" || c.MCEntries != 0 {
+			return fail("workload/variant/backend/mc_entries are not valid for experiment jobs")
 		}
 		if c.Seeds == 0 {
 			c.Seeds = 6
@@ -236,11 +241,14 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		if c.Variant == "" {
 			c.Variant = "baseline"
 		}
-		switch c.Variant {
-		case "baseline", "mallacc", "limit":
-		default:
-			return fail("unknown variant %q (want baseline, mallacc or limit)", c.Variant)
+		backend := c.Backend
+		if backend == "" {
+			backend = catalog.BackendTCMalloc
 		}
+		if err := catalog.CheckCombo(backend, c.Variant); err != nil {
+			return fail("%v", err)
+		}
+		c.Backend = catalog.NormalizeBackend(backend)
 		if c.MCEntries == 0 {
 			c.MCEntries = 32
 		}

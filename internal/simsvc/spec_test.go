@@ -221,3 +221,50 @@ func TestKeyIsHexSHA256(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendSpecs: the backend field selects the allocator substrate,
+// normalizes its default spelling away (so legacy specs keep their content
+// address), and rejects combos the catalog forbids.
+func TestBackendSpecs(t *testing.T) {
+	// Explicit tcmalloc hashes like omitted backend.
+	a, err := JobSpec{Workload: "ubench.gauss", Backend: "tcmalloc"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := JobSpec{Workload: "ubench.gauss"}.Canonicalize()
+	if a.Backend != "" || a.Key() != b.Key() {
+		t.Fatalf("tcmalloc backend did not normalize away (backend=%q)", a.Backend)
+	}
+
+	// Lockfree runs and clusters canonicalize; the backend is part of the key.
+	lf, err := JobSpec{Workload: "ubench.gauss", Backend: "lockfree", Variant: "mallacc"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Backend != "lockfree" {
+		t.Fatalf("backend = %q", lf.Backend)
+	}
+	base, _ := JobSpec{Workload: "ubench.gauss", Variant: "mallacc"}.Canonicalize()
+	if lf.Key() == base.Key() {
+		t.Fatal("lockfree spec collided with the tcmalloc spec")
+	}
+
+	// The offload variant rides the default backend.
+	if _, err := (JobSpec{Workload: "ubench.gauss", Variant: "offload"}).Canonicalize(); err != nil {
+		t.Fatalf("offload variant rejected: %v", err)
+	}
+
+	// Catalog rules: no offload/limit on lockfree, no experiment-only or
+	// unknown backends, no backend on experiment jobs.
+	for _, bad := range []JobSpec{
+		{Workload: "ubench.gauss", Backend: "lockfree", Variant: "offload"},
+		{Workload: "ubench.gauss", Backend: "lockfree", Variant: "limit"},
+		{Workload: "ubench.gauss", Backend: "jemalloc"},
+		{Workload: "ubench.gauss", Backend: "slab"},
+		{Experiment: "fig13", Backend: "lockfree"},
+	} {
+		if _, err := bad.Canonicalize(); err == nil {
+			t.Errorf("spec %+v canonicalized; want error", bad)
+		}
+	}
+}

@@ -24,6 +24,13 @@ func goldenSnapshot() Snapshot {
 	}
 	reg.Histogram("malloc.cycles", h)
 	reg.Describe("malloc.cycles", "Per-call malloc latency.\nSecond line \\ slash.")
+	// The design-space backends' namespaces (internal/lockfree and
+	// internal/offload register these shapes; the packages themselves can't
+	// be imported here without a cycle).
+	reg.Counter("lockfree.cas.retries", func() uint64 { return 9 })
+	reg.Describe("lockfree.cas.retries", "Failed CAS attempts on size-class stack heads.")
+	reg.Gauge("offload.queue.mean_depth", func() float64 { return 1.25 })
+	reg.Describe("offload.queue.mean_depth", "Mean allocation-core queue depth observed at arrival.")
 	return reg.Snapshot()
 }
 

@@ -34,6 +34,7 @@ import (
 
 	"mallacc/internal/area"
 	"mallacc/internal/cachesim"
+	"mallacc/internal/catalog"
 	"mallacc/internal/core"
 	"mallacc/internal/cpu"
 	"mallacc/internal/harness"
@@ -51,7 +52,8 @@ import (
 // Variant selects the simulated configuration.
 type Variant = harness.Variant
 
-// The three evaluated configurations of the paper.
+// The evaluated configurations: the paper's three plus the offload-core
+// design point from the design-space study.
 const (
 	// Baseline is unmodified TCMalloc on the stock core.
 	Baseline = harness.VariantBaseline
@@ -60,6 +62,17 @@ const (
 	// Limit is the limit study: fast-path step instructions ignored by
 	// timing.
 	Limit = harness.VariantLimit
+	// Offload dispatches malloc/free over a modeled queue to a dedicated
+	// lightweight allocation core (internal/offload).
+	Offload = harness.VariantOffload
+)
+
+// Allocator substrates (RunOptions.Backend / ClusterConfig.Backend).
+const (
+	// BackendTCMalloc is the default simulated TCMalloc heap.
+	BackendTCMalloc = catalog.BackendTCMalloc
+	// BackendLockFree is the per-size-class lock-free stack allocator.
+	BackendLockFree = catalog.BackendLockFree
 )
 
 // RunOptions configures a single workload run.
@@ -495,8 +508,12 @@ type App = workload.App
 type ClusterConfig struct {
 	// Cores is the simulated core count (default 2).
 	Cores int
-	// Variant picks baseline, Mallacc, or the limit study.
+	// Variant picks baseline, Mallacc, the limit study, or the offload
+	// core.
 	Variant Variant
+	// Backend selects the allocator substrate ("" or BackendTCMalloc for
+	// the default heap, BackendLockFree for the lock-free stacks).
+	Backend string
 	// MCEntries sizes each core's malloc cache (default 32).
 	MCEntries int
 	// Workload generates every core's shard (each with its own RNG).
@@ -528,6 +545,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	return &Cluster{eng: multicore.New(multicore.Config{
 		Cores:          cfg.Cores,
 		Variant:        clusterVariant(cfg.Variant),
+		Backend:        cfg.Backend,
 		MCEntries:      cfg.MCEntries,
 		Workload:       cfg.Workload,
 		CallsPerCore:   cfg.CallsPerCore,
@@ -549,6 +567,8 @@ func clusterVariant(v Variant) multicore.Variant {
 		return multicore.Mallacc
 	case Limit:
 		return multicore.Limit
+	case Offload:
+		return multicore.Offload
 	default:
 		return multicore.Baseline
 	}

@@ -29,7 +29,7 @@ for a in "$@"; do
     esac
 done
 
-PKGS=(./internal/cpu ./internal/cachesim ./internal/tcmalloc ./internal/multicore ./internal/simsvc)
+PKGS=(./internal/cpu ./internal/cachesim ./internal/tcmalloc ./internal/multicore ./internal/simsvc ./internal/lockfree ./internal/offload)
 OUT=${BENCH_OUT:-BENCH_baseline.json}
 COUNT=${BENCH_COUNT:-5}
 
