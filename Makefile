@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos designspace-smoke clean
+.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos membership-chaos designspace-smoke clean
 
 all: build vet test
 
@@ -79,6 +79,14 @@ designspace-smoke:
 # overrides the schedule.
 fleet-chaos:
 	./scripts/fleet_chaos.sh
+
+# Membership chaos test: a dynamic fleet (runtime joins, gossiping
+# coordinator pair) sweeps the grid while a node joins, another is
+# kill -9'd, and a coordinator restarts cold; then one node drains with
+# cache hand-off. Asserts byte-identical reports vs a static fleet and
+# zero recomputes after the graceful departure.
+membership-chaos:
+	./scripts/membership_chaos.sh
 
 clean:
 	$(GO) clean ./...

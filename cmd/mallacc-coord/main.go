@@ -5,10 +5,19 @@
 // past dead or open nodes, per-node circuit breakers fed by health probes
 // and proxy outcomes, and SSE progress fan-out.
 //
+// Membership is dynamic: nodes may be seeded statically with -nodes, join
+// at runtime via POST /v1/fleet/join (mallacc-serve -coord does this
+// automatically), and are aged out by a failure detector (healthy →
+// suspect → dead) when their heartbeats and probes stop. Several
+// coordinators can share one membership view via -peers gossip; any of
+// them accepts joins and routes identically.
+//
 // Usage:
 //
+//	mallacc-coord                               # empty fleet; nodes join themselves
 //	mallacc-coord -nodes n1=127.0.0.1:7071,n2=127.0.0.1:7072,n3=127.0.0.1:7073
 //	mallacc-coord -nodes ... -addr :7070 -probe-every 500ms
+//	mallacc-coord -addr :7070 -peers http://127.0.0.1:7080   # gossiping pair
 //
 // API (see also mallacc-serve):
 //
@@ -37,12 +46,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
-		nodesSpec  = flag.String("nodes", "", "fleet membership \"name=url,name=url,...\" (required)")
-		replicas   = flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = default; must match the nodes' -fleet rings)")
-		probeEvery = flag.Duration("probe-every", fleet.DefaultProbeEvery, "node health-probe cadence")
-		loadFactor = flag.Float64("load-factor", fleet.DefaultLoadFactor, "bounded-load c: a node past c x mean load overflows to the next candidate")
-		faultSpec  = flag.String("faults", "", "fault-injection spec for chaos testing (e.g. \"seed=7;fleet.proxy,prob=0.2\"); overrides $"+faults.EnvVar)
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
+		nodesSpec    = flag.String("nodes", "", "static fleet seed \"name=url,name=url,...\" (optional; nodes can also join at runtime)")
+		replicas     = flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = default; must match the nodes' -fleet rings)")
+		probeEvery   = flag.Duration("probe-every", fleet.DefaultProbeEvery, "node health-probe cadence (the failure detector ticks on it too)")
+		suspectAfter = flag.Duration("suspect-after", fleet.DefaultSuspectAfter, "silence before a healthy member turns suspect")
+		deadAfter    = flag.Duration("dead-after", fleet.DefaultDeadAfter, "further silence before a suspect member is declared dead (ring rebuild)")
+		peersSpec    = flag.String("peers", "", "sibling coordinator base URLs, comma separated — membership is gossiped to them")
+		gossipEvery  = flag.Duration("gossip-every", fleet.DefaultGossipEvery, "membership gossip cadence to -peers")
+		loadFactor   = flag.Float64("load-factor", fleet.DefaultLoadFactor, "bounded-load c: a node past c x mean load overflows to the next candidate")
+		faultSpec    = flag.String("faults", "", "fault-injection spec for chaos testing (e.g. \"seed=7;fleet.proxy,prob=0.2\"); overrides $"+faults.EnvVar)
 	)
 	flag.Parse()
 
@@ -51,21 +64,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *nodesSpec == "" {
-		fmt.Fprintln(os.Stderr, "mallacc-coord: -nodes is required")
-		os.Exit(2)
+	var nodes []fleet.Node
+	if *nodesSpec != "" {
+		nodes, err = fleet.ParseNodes(*nodesSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
-	nodes, err := fleet.ParseNodes(*nodesSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	peers := fleet.SplitURLList(*peersSpec)
 
 	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
-		Nodes:      nodes,
-		Replicas:   *replicas,
-		ProbeEvery: *probeEvery,
-		LoadFactor: *loadFactor,
+		Nodes:        nodes,
+		Replicas:     *replicas,
+		ProbeEvery:   *probeEvery,
+		SuspectAfter: *suspectAfter,
+		DeadAfter:    *deadAfter,
+		Peers:        peers,
+		GossipEvery:  *gossipEvery,
+		LoadFactor:   *loadFactor,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,7 +99,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "mallacc-coord listening on http://%s (%d nodes)\n", ln.Addr(), len(nodes))
+	fmt.Fprintf(os.Stderr, "mallacc-coord listening on http://%s (%d seed nodes, %d gossip peers)\n",
+		ln.Addr(), len(nodes), len(peers))
 
 	srv := &http.Server{Handler: coord.Handler()}
 	errCh := make(chan error, 1)

@@ -10,6 +10,7 @@
 //	mallacc-ctl [-coord URL] submit -spec @spec.json -out report.json
 //	mallacc-ctl [-coord URL] follow n2.j00000001
 //	mallacc-ctl [-coord URL] drain n2
+//	mallacc-ctl [-coord URL] drain -handoff n2   # push caches to new owners, deregister
 //	mallacc-ctl [-coord URL] undrain n2
 //	mallacc-ctl [-coord URL] sweep -grid 'kind=run;workload=gauss,tcmalloc;variant=baseline,mallacc;calls=20000' -out reports/
 //
@@ -163,7 +164,9 @@ func (c *client) doJSON(ctx context.Context, method, path string, body []byte, o
 	})
 }
 
-// cmdStatus renders the fleet membership view.
+// cmdStatus renders the fleet membership view: the epoch, and per node the
+// failure-detector state, last-heartbeat age, breaker, ownership, and
+// occupancy.
 func cmdStatus(ctx context.Context, c *client) error {
 	var h fleet.FleetHealth
 	if err := c.doJSON(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
@@ -173,17 +176,24 @@ func cmdStatus(ctx context.Context, c *client) error {
 	if !h.OK {
 		state = "DOWN"
 	}
-	fmt.Printf("fleet %s: %d/%d nodes live\n", state, h.Live, h.Total)
+	fmt.Printf("fleet %s: %d/%d nodes live (epoch %d)\n", state, h.Live, h.Total, h.Epoch)
 	for _, n := range h.Nodes {
-		mark := "up"
+		// mark is the membership verdict, refined by the operator drain flag
+		// and instant reachability: a member can be "healthy" per the (slow)
+		// failure detector while the last probe already failed.
+		mark := n.State
 		switch {
 		case n.Draining:
 			mark = "draining"
-		case !n.Healthy:
+		case n.State == fleet.StateMemberHealthy && !n.Healthy:
 			mark = "DOWN"
 		}
-		line := fmt.Sprintf("  %-10s %-22s %-8s breaker=%s own=%4.1f%% queue=%d busy=%d/%d",
-			n.Name, n.URL, mark, n.Breaker, 100*n.Ownership, n.QueueDepth, n.Busy, n.Workers)
+		hb := "hb=never"
+		if n.HeartbeatAgeSeconds >= 0 {
+			hb = fmt.Sprintf("hb=%.1fs", n.HeartbeatAgeSeconds)
+		}
+		line := fmt.Sprintf("  %-10s %-22s %-8s %-9s breaker=%s own=%4.1f%% queue=%d busy=%d/%d",
+			n.Name, n.URL, mark, hb, n.Breaker, 100*n.Ownership, n.QueueDepth, n.Busy, n.Workers)
 		if n.LastError != "" {
 			line += "  (" + n.LastError + ")"
 		}
@@ -320,14 +330,32 @@ func cmdFollow(ctx context.Context, c *client, args []string) error {
 }
 
 func cmdDrain(ctx context.Context, c *client, cmd string, args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	handoff := fs.Bool("handoff", false, "after draining, push the node's cached reports to their new ring owners\nand deregister it — a permanent departure that recomputes nothing (drain only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
 		return fmt.Errorf("%s wants exactly one node name", cmd)
 	}
-	var h fleet.FleetHealth
-	if err := c.doJSON(ctx, http.MethodPost, "/v1/fleet/"+args[0]+"/"+cmd, nil, &h); err != nil {
+	node := fs.Arg(0)
+	if *handoff && cmd != "drain" {
+		return errors.New("-handoff only applies to drain")
+	}
+	path := "/v1/fleet/" + node + "/" + cmd
+	if *handoff {
+		path += "?handoff=1"
+	}
+	var resp struct {
+		fleet.FleetHealth
+		Handoff *fleet.HandoffResult `json:"handoff"`
+	}
+	if err := c.doJSON(ctx, http.MethodPost, path, nil, &resp); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%s %s: %d/%d nodes live\n", cmd, args[0], h.Live, h.Total)
+	if resp.Handoff != nil {
+		fmt.Fprintf(os.Stderr, "handoff %s: %d keys, %d pushed, %d failed, %d skipped\n",
+			node, resp.Handoff.Keys, resp.Handoff.Pushed, resp.Handoff.Failed, resp.Handoff.Skipped)
+	}
+	fmt.Fprintf(os.Stderr, "%s %s: %d/%d nodes live (epoch %d)\n", cmd, node, resp.Live, resp.Total, resp.Epoch)
 	return nil
 }
 

@@ -11,7 +11,10 @@
 //	mallacc-serve -digest                  # run the pinned cache digest and exit
 //	mallacc-serve -pprof                   # also expose /debug/pprof/ (off by default)
 //	mallacc-serve -fleet n1=:7071,n2=:7072 -self n1
-//	                                       # fleet member: peer cache fill on miss
+//	                                       # static fleet member: peer cache fill on miss
+//	mallacc-serve -self n1 -coord http://127.0.0.1:7070
+//	                                       # dynamic fleet member: join the coordinator
+//	                                       # at startup, heartbeat, track the live ring
 //
 // API:
 //
@@ -60,8 +63,11 @@ func main() {
 		digest    = flag.Bool("digest", false, "run the deterministic cache digest to stdout and exit")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; leave off in shared deployments)")
 		faultSpec = flag.String("faults", "", "fault-injection spec for chaos testing: JSON, @file, or compact form\n(e.g. \"seed=7;simsvc.exec,prob=0.2\"); overrides $"+faults.EnvVar)
-		fleetSpec = flag.String("fleet", "", "fleet membership \"name=url,name=url,...\" — enables peer cache fill\n(ask the job key's ring candidates before simulating); requires -self")
-		selfName  = flag.String("self", "", "this node's name in the -fleet spec")
+		fleetSpec = flag.String("fleet", "", "static fleet membership \"name=url,name=url,...\" — enables peer cache fill\n(ask the job key's ring candidates before simulating); requires -self")
+		selfName  = flag.String("self", "", "this node's name in the fleet")
+		coordSpec = flag.String("coord", "", "coordinator base URLs, comma separated — join the fleet dynamically at\nstartup and heartbeat; requires -self, mutually exclusive with -fleet")
+		advertise = flag.String("advertise", "", "base URL coordinators and peers reach this node at\n(default: http://<addr>, with a loopback host substituted for a wildcard)")
+		hbEvery   = flag.Duration("heartbeat-every", fleet.DefaultHeartbeatEvery, "membership heartbeat cadence (dynamic fleet only)")
 	)
 	flag.Parse()
 
@@ -90,7 +96,22 @@ func main() {
 		ProgressEvery:  *progEvery,
 	}
 	var filler *fleet.PeerFiller
-	if *fleetSpec != "" || *selfName != "" {
+	dynamic := *coordSpec != ""
+	switch {
+	case dynamic && *fleetSpec != "":
+		fmt.Fprintln(os.Stderr, "mallacc-serve: -coord and -fleet are mutually exclusive")
+		os.Exit(2)
+	case dynamic && *selfName == "":
+		fmt.Fprintln(os.Stderr, "mallacc-serve: -coord requires -self")
+		os.Exit(2)
+	case dynamic:
+		filler, err = fleet.NewDynamicPeerFiller(*selfName, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.PeerFill = filler.Fill
+	case *fleetSpec != "" || *selfName != "":
 		if *fleetSpec == "" || *selfName == "" {
 			fmt.Fprintln(os.Stderr, "mallacc-serve: -fleet and -self must be set together")
 			os.Exit(2)
@@ -129,6 +150,34 @@ func main() {
 	fmt.Fprintf(os.Stderr, "mallacc-serve listening on http://%s\n", ln.Addr())
 
 	handler := svc.Handler()
+	if filler != nil {
+		// Any fleet member can be told to hand its cache off (the coordinator
+		// orchestrates drain --handoff by POSTing here), so the route is
+		// mounted in both static and dynamic modes.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("POST /v1/fleet/handoff", fleet.NewHandoffHandler(*selfName, svc.Cache(), svc.Registry()))
+		handler = mux
+	}
+	var agent *fleet.Agent
+	if dynamic {
+		self := fleet.Node{Name: *selfName, URL: advertiseURL(*advertise, ln.Addr().String())}
+		agent, err = fleet.NewAgent(fleet.AgentConfig{
+			Self:           self,
+			Coordinators:   fleet.SplitURLList(*coordSpec),
+			HeartbeatEvery: *hbEvery,
+			OnView:         filler.SetView,
+			Registry:       svc.Registry(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		agent.Start()
+		defer agent.Close()
+		fmt.Fprintf(os.Stderr, "mallacc-serve: joining fleet as %s at %s (coordinators: %s)\n",
+			self.Name, self.URL, *coordSpec)
+	}
 	if *pprofOn {
 		// The service handler keeps the whole API under /v1/, so mounting
 		// the profiler beside it cannot shadow a service route.
@@ -156,6 +205,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	if agent != nil {
+		// Deregister before draining so the coordinators stop routing new
+		// work here while in-flight jobs finish.
+		agent.Close()
+		agent.Leave()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
 	drainErr := svc.Drain(ctx)
@@ -165,4 +220,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "mallacc-serve: drained cleanly")
+}
+
+// advertiseURL resolves the base URL this node tells the fleet to reach it
+// at: the -advertise flag verbatim when set, otherwise the actual listen
+// address with a wildcard host replaced by loopback (a fleet on one
+// machine is the common dev and CI shape; multi-host fleets set
+// -advertise explicitly).
+func advertiseURL(flagVal, listenAddr string) string {
+	if flagVal != "" {
+		return fleet.NormalizeURL(flagVal)
+	}
+	host, port, err := net.SplitHostPort(listenAddr)
+	if err == nil && (host == "" || host == "::" || host == "0.0.0.0") {
+		listenAddr = net.JoinHostPort("127.0.0.1", port)
+	}
+	return fleet.NormalizeURL(listenAddr)
 }

@@ -56,6 +56,18 @@ const (
 	// PointPeerFill gates a node's outbound peer cache-fill requests; an
 	// injected error degrades the fill to a miss (the node recomputes).
 	PointPeerFill = "fleet.fill"
+	// PointFleetJoin gates a node agent's outbound join/register requests
+	// to a coordinator; an injected error delays membership (the agent
+	// retries on its heartbeat cadence).
+	PointFleetJoin = "fleet.join"
+	// PointFleetHeartbeat gates a node agent's outbound heartbeats; an
+	// injected error drops the heartbeat on the floor, driving the
+	// coordinator's suspicion state machine.
+	PointFleetHeartbeat = "fleet.heartbeat"
+	// PointFleetHandoff gates each per-key report push during a drain
+	// hand-off; an injected error loses that key's push (the fleet falls
+	// back to peer fill or recompute — answers never change).
+	PointFleetHandoff = "fleet.handoff"
 )
 
 // Fault modes.

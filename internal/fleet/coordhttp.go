@@ -34,7 +34,21 @@ const maxProxyBytes = 16 << 20
 //	POST   /v1/fleet/{node}/drain
 //	POST   /v1/fleet/{node}/undrain
 //	                     operator drain: stop (resp. resume) routing new
-//	                     work to the node; running jobs stay reachable
+//	                     work to the node; running jobs stay reachable.
+//	                     drain?handoff=1 additionally pushes the node's
+//	                     cached reports to their new ring owners and then
+//	                     deregisters it (permanent departure)
+//	POST   /v1/fleet/join
+//	                     a node announcing itself: {"name","url"}; returns
+//	                     the membership view it should route by
+//	POST   /v1/fleet/heartbeat
+//	                     liveness renewal: {"name","epoch"}; 404 tells the
+//	                     node to re-join (coordinator restart / declared
+//	                     dead); a stale epoch gets the fresh view back
+//	POST   /v1/fleet/leave
+//	                     graceful deregistration
+//	POST   /v1/fleet/gossip
+//	                     coordinator-to-coordinator view exchange
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
@@ -45,6 +59,10 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("POST /v1/fleet/{node}/drain", c.drainHandler(true))
 	mux.HandleFunc("POST /v1/fleet/{node}/undrain", c.drainHandler(false))
+	mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/fleet/leave", c.handleLeave)
+	mux.HandleFunc("POST /v1/fleet/gossip", c.handleGossip)
 	return mux
 }
 
@@ -76,7 +94,7 @@ func (c *Coordinator) proxy(client *http.Client, r *http.Request, ns *nodeState,
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), method, ns.node.URL+path, rd)
+	req, err := http.NewRequestWithContext(r.Context(), method, ns.baseURL()+path, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +199,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		default:
 			ns.breaker.Record(simsvc.OutcomeSuccess)
 			ns.proxied.Add(1)
-			c.relayJobStatus(w, resp, ns.node.Name)
+			// A successful proxy hop is liveness evidence, same as a probe.
+			c.mem.MarkAlive(ns.name)
+			c.relayJobStatus(w, resp, ns.name)
 			return
 		}
 	}
@@ -214,8 +234,8 @@ func (c *Coordinator) routeJobID(w http.ResponseWriter, id string) (*nodeState, 
 			fmt.Errorf("unknown job %q (fleet job ids look like <node>.<id>)", id))
 		return nil, "", false
 	}
-	ns, ok := c.nodes[node]
-	if !ok {
+	ns := c.state(node)
+	if ns == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q: no fleet node %q", id, node))
 		return nil, "", false
 	}
@@ -229,10 +249,10 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := c.proxy(c.client, r, ns, http.MethodGet, "/v1/jobs/"+rest, nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.node.Name, err))
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.name, err))
 		return
 	}
-	c.relayJobStatus(w, resp, ns.node.Name)
+	c.relayJobStatus(w, resp, ns.name)
 }
 
 func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -242,10 +262,10 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := c.proxy(c.client, r, ns, http.MethodDelete, "/v1/jobs/"+rest, nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.node.Name, err))
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.name, err))
 		return
 	}
-	c.relayJobStatus(w, resp, ns.node.Name)
+	c.relayJobStatus(w, resp, ns.name)
 }
 
 // handleEvents fans a node's SSE progress stream out through the
@@ -260,12 +280,12 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := c.proxy(c.sseClient, r, ns, http.MethodGet, "/v1/jobs/"+rest+"/events", nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.node.Name, err))
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: node %s: %v", ns.name, err))
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		c.relayJobStatus(w, resp, ns.node.Name)
+		c.relayJobStatus(w, resp, ns.name)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -318,12 +338,161 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// drainResponse is the drain endpoint's body: the fleet health document,
+// plus the hand-off summary when ?handoff=1 asked for one.
+type drainResponse struct {
+	FleetHealth
+	Handoff *HandoffResult `json:"handoff,omitempty"`
+}
+
 func (c *Coordinator) drainHandler(drain bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if err := c.Drain(r.PathValue("node"), drain); err != nil {
+		node := r.PathValue("node")
+		if err := c.Drain(node, drain); err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, c.Healthz())
+		out := drainResponse{}
+		if drain && handoffRequested(r) {
+			res, err := c.orchestrateHandoff(r, node)
+			if err != nil {
+				// The drain flag stays set — the node takes no new work — but
+				// it remains a member; the operator can retry the hand-off.
+				writeError(w, http.StatusBadGateway, err)
+				return
+			}
+			c.handoffs.Add(1)
+			c.handoffKeys.Add(uint64(res.Pushed))
+			// The push is done; deregister. Leave is a view change every
+			// sibling coordinator learns via gossip.
+			if err := c.mem.Leave(node); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			out.Handoff = res
+		}
+		out.FleetHealth = c.Healthz()
+		writeJSON(w, http.StatusOK, out)
 	}
+}
+
+func handoffRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("handoff") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+// orchestrateHandoff drives a departing node's cache push: compute the
+// surviving membership, tell the node to push each cached report to its
+// new ring owner (POST /v1/fleet/handoff), and return the node's summary.
+// Uses the untimed client with the operator request's context — a big
+// cache takes as long as it takes, and the operator's ctrl-C cancels it.
+func (c *Coordinator) orchestrateHandoff(r *http.Request, node string) (*HandoffResult, error) {
+	m, ok := c.mem.Member(node)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown node %q", node)
+	}
+	var survivors []Member
+	for _, sm := range c.mem.View().Members {
+		if sm.Name != node && stateOnRing(sm.State) {
+			survivors = append(survivors, sm)
+		}
+	}
+	body, err := json.Marshal(HandoffRequest{Members: survivors, Replicas: c.replicas})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, m.URL+"/v1/fleet/handoff", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.sseClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: handoff to node %s: %v", node, err)
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: handoff to node %s: read response: %v", node, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: handoff to node %s: status %s: %s", node, resp.Status, bytes.TrimSpace(rb))
+	}
+	var res HandoffResult
+	if err := json.Unmarshal(rb, &res); err != nil {
+		return nil, fmt.Errorf("fleet: handoff to node %s: malformed summary: %v", node, err)
+	}
+	return &res, nil
+}
+
+// handleJoin admits a node into the membership. The response carries the
+// full view so the node can route peer fills immediately.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: decode join: %v", err))
+		return
+	}
+	view, err := c.mem.Join(Node{Name: req.Name, URL: req.URL})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.adoptNode(req.Name, req.URL)
+	writeJSON(w, http.StatusOK, joinResponse{Epoch: view.Epoch, View: &view})
+}
+
+// handleHeartbeat renews a member's liveness. Unknown, dead, and departed
+// members get 404 — the node's cue to re-join, which is what makes both a
+// coordinator restart and a premature death verdict self-healing. The view
+// rides along only when the node's epoch is stale.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: decode heartbeat: %v", err))
+		return
+	}
+	epoch, ok := c.mem.Heartbeat(req.Name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet: node %q is not a live member (re-join)", req.Name))
+		return
+	}
+	out := joinResponse{Epoch: epoch}
+	if req.Epoch < epoch {
+		view := c.mem.View()
+		out.Epoch = view.Epoch
+		out.View = &view
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: decode leave: %v", err))
+		return
+	}
+	if err := c.mem.Leave(req.Name); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, joinResponse{Epoch: c.mem.Epoch()})
+}
+
+// handleGossip folds a sibling coordinator's view into ours and acks with
+// our epoch and view identity (the sender's delta baseline).
+func (c *Coordinator) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var msg gossipMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxProxyBytes)).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fleet: decode gossip: %v", err))
+		return
+	}
+	c.gossipRecv.Add(1)
+	if c.mergeView(View{Epoch: msg.Epoch, ViewID: msg.ViewID, Members: msg.Members}) {
+		c.gossipMerged.Add(1)
+	}
+	writeJSON(w, http.StatusOK, gossipAck{Epoch: c.mem.Epoch(), ViewID: c.mem.ViewID()})
 }

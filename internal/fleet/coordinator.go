@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,21 +20,42 @@ import (
 // node stays negligible; the smoke harness turns it down to 200ms.
 const DefaultProbeEvery = 2 * time.Second
 
+// DefaultGossipEvery is the coordinator-to-coordinator gossip cadence.
+const DefaultGossipEvery = 1 * time.Second
+
 // DefaultLoadFactor is the bounded-load c: a node is "over" when its load
 // (queued + busy) exceeds c times the eligible-fleet mean (plus one of
 // slack, so an idle fleet never reads as over). 1.25 is the classic
 // consistent-hashing-with-bounded-loads choice.
 const DefaultLoadFactor = 1.25
 
+// gossipFullEvery forces a full-state snapshot every Nth gossip round per
+// peer; rounds in between send deltas cut at the last acknowledged epoch.
+// Merges are record-wise idempotent, so the periodic full view bounds any
+// drift a lost delta could cause.
+const gossipFullEvery = 8
+
 // CoordinatorConfig sizes a Coordinator.
 type CoordinatorConfig struct {
-	// Nodes is the fleet membership (see ParseNodes).
+	// Nodes seeds the membership (see ParseNodes). Optional: an empty seed
+	// starts the coordinator with zero members, waiting for nodes to join
+	// at runtime via POST /v1/fleet/join.
 	Nodes []Node
 	// Replicas is the ring's virtual-node count (DefaultReplicas when <= 0);
 	// it must match the nodes' own PeerFiller rings.
 	Replicas int
 	// ProbeEvery is the health-probe cadence (DefaultProbeEvery when <= 0).
+	// The failure detector ticks on the same cadence.
 	ProbeEvery time.Duration
+	// SuspectAfter / DeadAfter time the failure detector (see
+	// MembershipConfig); zero takes the defaults.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Peers are sibling coordinators' base URLs; the membership view is
+	// gossiped to them so any coordinator routes identically.
+	Peers []string
+	// GossipEvery is the gossip cadence (DefaultGossipEvery when <= 0).
+	GossipEvery time.Duration
 	// LoadFactor is the bounded-load c (DefaultLoadFactor when <= 0).
 	LoadFactor float64
 	// Breaker sizes each node's circuit breaker; zero fields take the
@@ -41,21 +64,24 @@ type CoordinatorConfig struct {
 	// Registry receives the fleet.* metrics; a fresh one is created when nil.
 	Registry *telemetry.Registry
 	// Client performs all node HTTP; a 30s-timeout default applies when nil.
-	// SSE fan-out uses a separate untimed client (streams outlive any
-	// sensible request timeout).
+	// SSE fan-out and hand-off orchestration use a separate untimed client
+	// (both outlive any sensible request timeout).
 	Client *http.Client
 }
 
-// nodeState is the coordinator's live view of one member node.
+// nodeState is the coordinator's live transport-level view of one member
+// node: instant reachability fed by probes and proxy outcomes, the node's
+// last reported occupancy, and its circuit breaker. The slower, gossiped
+// verdict (healthy/suspect/dead/left, draining) lives in the Membership.
 type nodeState struct {
-	node Node
+	name string
 	// breaker is fed probe results and proxy outcomes; open means the
 	// coordinator drains around this node until cooldown half-opens it.
 	breaker *simsvc.Breaker
 
 	mu       sync.Mutex
-	healthy  bool
-	draining bool // operator drain via mallacc-ctl
+	url      string
+	healthy  bool // reachable per the last probe / proxy hop
 	health   simsvc.Health
 	lastErr  string
 	probedAt time.Time
@@ -64,10 +90,17 @@ type nodeState struct {
 }
 
 // snapshot returns the mutex-guarded fields as a consistent copy.
-func (ns *nodeState) snapshot() (healthy, draining bool, h simsvc.Health, lastErr string, probedAt time.Time) {
+func (ns *nodeState) snapshot() (healthy bool, h simsvc.Health, lastErr string, probedAt time.Time) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	return ns.healthy, ns.draining, ns.health, ns.lastErr, ns.probedAt
+	return ns.healthy, ns.health, ns.lastErr, ns.probedAt
+}
+
+// baseURL returns the node's current base URL (joins may update it).
+func (ns *nodeState) baseURL() string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.url
 }
 
 // load is the bounded-load measure: work the node holds right now.
@@ -77,20 +110,38 @@ func (ns *nodeState) load() int {
 	return ns.health.QueueDepth + ns.health.Busy
 }
 
+// peerState tracks gossip bookkeeping for one sibling coordinator.
+type peerState struct {
+	url       string
+	viewID    string // peer's last seen process identity
+	sentEpoch uint64 // our epoch as of the last acknowledged send
+	rounds    int
+}
+
 // Coordinator shards /v1/jobs traffic across a fleet of mallacc-serve
 // nodes by consistent hashing on the job key. It speaks the same API as a
 // single node — clients cannot tell the difference beyond the node-prefixed
-// job ids — and layers on per-node health probing, circuit breaking,
-// bounded-load overflow, failover, and SSE fan-out.
+// job ids — and layers on dynamic membership (join/heartbeat/leave with a
+// suspicion-based failure detector driving automatic ring rebuilds),
+// per-node health probing, circuit breaking, bounded-load overflow,
+// failover, drain with cache hand-off, SSE fan-out, and a gossiped
+// membership view shared with sibling coordinators.
 type Coordinator struct {
-	ring       *Ring
-	nodes      map[string]*nodeState
-	order      []string // sorted node names
+	mem        *Membership
 	reg        *telemetry.Registry
 	client     *http.Client
 	sseClient  *http.Client
 	loadFactor float64
 	probeEvery time.Duration
+	replicas   int
+
+	nmu        sync.RWMutex
+	nodes      map[string]*nodeState
+	registered map[string]bool // per-node metric families already registered
+	breakerCfg simsvc.BreakerConfig
+
+	gossipEvery time.Duration
+	peers       []*peerState
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -103,17 +154,23 @@ type Coordinator struct {
 	probes    atomic.Uint64
 	probeErrs atomic.Uint64
 	sseOpen   atomic.Uint64
+
+	handoffs       atomic.Uint64 // drain --handoff orchestrations completed
+	handoffKeys    atomic.Uint64 // reports pushed across all hand-offs
+	gossipSent     atomic.Uint64
+	gossipSendErrs atomic.Uint64
+	gossipRecv     atomic.Uint64
+	gossipMerged   atomic.Uint64 // received gossip that changed the view
 }
 
-// NewCoordinator builds the coordinator and starts its probe loop. Call
-// Close to stop probing.
+// NewCoordinator builds the coordinator, seeds the membership from
+// cfg.Nodes, and starts its probe and gossip loops. Call Close to stop.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
-	ring, err := NewRing(cfg.Replicas, nodeNames(cfg.Nodes))
-	if err != nil {
-		return nil, err
-	}
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	if cfg.GossipEvery <= 0 {
+		cfg.GossipEvery = DefaultGossipEvery
 	}
 	if cfg.LoadFactor <= 0 {
 		cfg.LoadFactor = DefaultLoadFactor
@@ -127,33 +184,80 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	c := &Coordinator{
-		ring:       ring,
-		nodes:      make(map[string]*nodeState, len(cfg.Nodes)),
-		order:      nodeNames(cfg.Nodes),
-		reg:        reg,
-		client:     client,
-		sseClient:  &http.Client{},
-		loadFactor: cfg.LoadFactor,
-		probeEvery: cfg.ProbeEvery,
-		stop:       make(chan struct{}),
+		mem: NewMembership(MembershipConfig{
+			SuspectAfter: cfg.SuspectAfter,
+			DeadAfter:    cfg.DeadAfter,
+			Replicas:     cfg.Replicas,
+		}),
+		reg:         reg,
+		client:      client,
+		sseClient:   &http.Client{},
+		loadFactor:  cfg.LoadFactor,
+		probeEvery:  cfg.ProbeEvery,
+		replicas:    cfg.Replicas,
+		nodes:       map[string]*nodeState{},
+		registered:  map[string]bool{},
+		breakerCfg:  cfg.Breaker,
+		gossipEvery: cfg.GossipEvery,
+		stop:        make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		c.peers = append(c.peers, &peerState{url: p})
 	}
 	for _, n := range cfg.Nodes {
-		c.nodes[n.Name] = &nodeState{
-			node:    n,
-			breaker: simsvc.NewBreaker(cfg.Breaker),
-			// Optimistic until the first probe: a fresh coordinator must be
-			// able to route immediately, and a wrong guess just costs one
-			// failover.
-			healthy: true,
+		if _, err := c.mem.Join(n); err != nil {
+			return nil, err
 		}
+		c.adoptNode(n.Name, n.URL)
 	}
 	c.registerMetrics()
 	c.wg.Add(1)
 	go c.probeLoop()
+	if len(c.peers) > 0 {
+		c.wg.Add(1)
+		go c.gossipLoop()
+	}
 	return c, nil
 }
 
-// Close stops the probe loop. In-flight proxied requests are unaffected.
+// adoptNode ensures a nodeState and its metric families exist for a
+// member, updating the URL when it changed. Safe to call repeatedly.
+func (c *Coordinator) adoptNode(name, url string) *nodeState {
+	c.nmu.Lock()
+	ns := c.nodes[name]
+	if ns == nil {
+		ns = &nodeState{
+			name:    name,
+			url:     url,
+			breaker: simsvc.NewBreaker(c.breakerCfg),
+			// Optimistic until the first probe: a freshly joined node must
+			// be routable immediately, and a wrong guess costs one failover.
+			healthy: true,
+		}
+		c.nodes[name] = ns
+	} else if url != "" {
+		ns.mu.Lock()
+		ns.url = url
+		ns.mu.Unlock()
+	}
+	fresh := !c.registered[name]
+	c.registered[name] = true
+	c.nmu.Unlock()
+	if fresh {
+		c.registerNodeMetrics(name)
+	}
+	return ns
+}
+
+// state returns the nodeState for a member, or nil.
+func (c *Coordinator) state(name string) *nodeState {
+	c.nmu.RLock()
+	defer c.nmu.RUnlock()
+	return c.nodes[name]
+}
+
+// Close stops the probe and gossip loops. In-flight proxied requests are
+// unaffected.
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
@@ -162,12 +266,16 @@ func (c *Coordinator) Close() {
 // Registry returns the coordinator's metric registry.
 func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
 
-// Ring returns the coordinator's hash ring (tests and status endpoints).
-func (c *Coordinator) Ring() *Ring { return c.ring }
+// Ring returns the current hash ring (tests and status endpoints); nil
+// while the membership is empty.
+func (c *Coordinator) Ring() *Ring { return c.mem.Ring() }
 
-// registerMetrics exposes the fleet.* telemetry: router counters, live
-// membership, and the per-node queue depth / ownership / breaker gauges
-// the issue calls for.
+// Membership returns the coordinator's membership table.
+func (c *Coordinator) Membership() *Membership { return c.mem }
+
+// registerMetrics exposes the fleet.* telemetry: router counters, the
+// membership state machine, and (per node, registered at adoption) queue
+// depth / ownership / breaker gauges.
 func (c *Coordinator) registerMetrics() {
 	c.reg.Counter("fleet.proxy.requests", c.requests.Load)
 	c.reg.Counter("fleet.proxy.failovers", c.failovers.Load)
@@ -176,43 +284,90 @@ func (c *Coordinator) registerMetrics() {
 	c.reg.Counter("fleet.probes", c.probes.Load)
 	c.reg.Counter("fleet.probe.failures", c.probeErrs.Load)
 	c.reg.Counter("fleet.sse.streams", c.sseOpen.Load)
-	c.reg.Gauge("fleet.nodes.total", func() float64 { return float64(len(c.order)) })
+	c.reg.Gauge("fleet.membership.epoch", func() float64 { return float64(c.mem.Epoch()) })
+	c.reg.Counter("fleet.membership.joins", func() uint64 { j, _, _, _, _, _, _ := c.mem.Counts(); return j })
+	c.reg.Counter("fleet.membership.leaves", func() uint64 { _, l, _, _, _, _, _ := c.mem.Counts(); return l })
+	c.reg.Counter("fleet.membership.heartbeats", func() uint64 { _, _, h, _, _, _, _ := c.mem.Counts(); return h })
+	c.reg.Counter("fleet.membership.suspects", func() uint64 { _, _, _, s, _, _, _ := c.mem.Counts(); return s })
+	c.reg.Counter("fleet.membership.deaths", func() uint64 { _, _, _, _, d, _, _ := c.mem.Counts(); return d })
+	c.reg.Counter("fleet.membership.revivals", func() uint64 { _, _, _, _, _, r, _ := c.mem.Counts(); return r })
+	c.reg.Counter("fleet.membership.gossip.merged_in", func() uint64 { _, _, _, _, _, _, g := c.mem.Counts(); return g })
+	c.reg.Counter("fleet.membership.handoffs", c.handoffs.Load)
+	c.reg.Counter("fleet.membership.handoff.keys", c.handoffKeys.Load)
+	c.reg.Counter("fleet.membership.gossip.sent", c.gossipSent.Load)
+	c.reg.Counter("fleet.membership.gossip.send_errors", c.gossipSendErrs.Load)
+	c.reg.Counter("fleet.membership.gossip.received", c.gossipRecv.Load)
+	c.reg.Counter("fleet.membership.gossip.changed", c.gossipMerged.Load)
+	c.reg.Gauge("fleet.nodes.total", func() float64 {
+		n := 0
+		for _, m := range c.mem.View().Members {
+			if m.State != StateMemberLeft {
+				n++
+			}
+		}
+		return float64(n)
+	})
 	c.reg.Gauge("fleet.nodes.live", func() float64 {
 		live := 0
-		for _, name := range c.order {
-			if healthy, draining, _, _, _ := c.nodes[name].snapshot(); healthy && !draining {
-				live++
+		for _, m := range c.mem.View().Members {
+			if !stateOnRing(m.State) || m.Draining {
+				continue
+			}
+			if ns := c.state(m.Name); ns != nil {
+				if healthy, _, _, _ := ns.snapshot(); healthy {
+					live++
+				}
 			}
 		}
 		return float64(live)
 	})
-	own := c.ring.Ownership()
-	for _, name := range c.order {
-		ns := c.nodes[name]
-		frac := own[name]
-		c.reg.Gauge("fleet.node."+name+".ownership", func() float64 { return frac })
-		c.reg.Gauge("fleet.node."+name+".queue_depth", func() float64 {
-			_, _, h, _, _ := ns.snapshot()
-			return float64(h.QueueDepth)
-		})
-		c.reg.Gauge("fleet.node."+name+".healthy", func() float64 {
-			healthy, _, _, _, _ := ns.snapshot()
-			if healthy {
-				return 1
-			}
-			return 0
-		})
-		c.reg.Gauge("fleet.node."+name+".breaker", func() float64 {
-			return float64(ns.breaker.State())
-		})
-		c.reg.Counter("fleet.node."+name+".proxied", ns.proxied.Load)
-	}
 }
 
-// probeLoop polls every node's /v1/healthz on the configured cadence. A
-// probe failure both marks the node unhealthy (instant routing effect) and
-// feeds its breaker (so recovery goes through half-open probing rather than
-// a thundering herd).
+// registerNodeMetrics publishes one node's gauge family. Metric names are
+// registered at most once per node name for the life of the process (the
+// registry rejects duplicates); a node leaving and rejoining reuses them.
+func (c *Coordinator) registerNodeMetrics(name string) {
+	c.reg.Gauge("fleet.node."+name+".ownership", func() float64 {
+		if ring := c.mem.Ring(); ring != nil {
+			return ring.Ownership()[name]
+		}
+		return 0
+	})
+	c.reg.Gauge("fleet.node."+name+".queue_depth", func() float64 {
+		if ns := c.state(name); ns != nil {
+			_, h, _, _ := ns.snapshot()
+			return float64(h.QueueDepth)
+		}
+		return 0
+	})
+	c.reg.Gauge("fleet.node."+name+".healthy", func() float64 {
+		if ns := c.state(name); ns != nil {
+			if healthy, _, _, _ := ns.snapshot(); healthy {
+				return 1
+			}
+		}
+		return 0
+	})
+	c.reg.Gauge("fleet.node."+name+".breaker", func() float64 {
+		if ns := c.state(name); ns != nil {
+			return float64(ns.breaker.State())
+		}
+		return 0
+	})
+	c.reg.Counter("fleet.node."+name+".proxied", func() uint64 {
+		if ns := c.state(name); ns != nil {
+			return ns.proxied.Load()
+		}
+		return 0
+	})
+}
+
+// probeLoop polls every member's /v1/healthz on the configured cadence
+// and ticks the failure detector. A probe failure both marks the node
+// unreachable (instant routing effect) and feeds its breaker (so recovery
+// goes through half-open probing rather than a thundering herd); a probe
+// success counts as liveness evidence, so a statically configured fleet
+// with no node agents never trips the suspicion machine.
 func (c *Coordinator) probeLoop() {
 	defer c.wg.Done()
 	// Probe once immediately so the first submissions route on real data
@@ -226,18 +381,23 @@ func (c *Coordinator) probeLoop() {
 			return
 		case <-t.C:
 			c.probeAll()
+			c.mem.Tick()
 		}
 	}
 }
 
 func (c *Coordinator) probeAll() {
 	var wg sync.WaitGroup
-	for _, name := range c.order {
+	for _, m := range c.mem.View().Members {
+		if m.State == StateMemberLeft {
+			continue
+		}
+		ns := c.adoptNode(m.Name, m.URL)
 		wg.Add(1)
 		go func(ns *nodeState) {
 			defer wg.Done()
 			c.probe(ns)
-		}(c.nodes[name])
+		}(ns)
 	}
 	wg.Wait()
 }
@@ -250,16 +410,31 @@ type nodeHealthz struct {
 	simsvc.Health
 }
 
+// probe checks one node's /v1/healthz. The body is read in full and
+// strictly unmarshaled, and the document's shape is validated: a node
+// answering 200 with garbage, a truncated body, or JSON of the wrong
+// shape (a real healthz always reports a positive worker count and a
+// breaker state) is a probe FAILURE, exactly like a refused connection —
+// a half-up process must not be routed to on the strength of a lie.
 func (c *Coordinator) probe(ns *nodeState) {
 	c.probes.Add(1)
-	resp, err := c.client.Get(ns.node.URL + "/v1/healthz")
+	resp, err := c.client.Get(ns.baseURL() + "/v1/healthz")
 	var doc nodeHealthz
 	if err == nil {
-		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc)
-		io.Copy(io.Discard, resp.Body)
+		var body []byte
+		body, err = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
-		if err == nil && resp.StatusCode != http.StatusOK {
+		switch {
+		case err != nil:
+			err = fmt.Errorf("healthz read: %v", err)
+		case resp.StatusCode != http.StatusOK:
 			err = fmt.Errorf("healthz status %s", resp.Status)
+		default:
+			if uerr := json.Unmarshal(body, &doc); uerr != nil {
+				err = fmt.Errorf("healthz malformed: %v", uerr)
+			} else if doc.Workers < 1 || doc.Breaker == "" {
+				err = fmt.Errorf("healthz implausible (workers=%d breaker=%q)", doc.Workers, doc.Breaker)
+			}
 		}
 	}
 	ns.mu.Lock()
@@ -278,6 +453,7 @@ func (c *Coordinator) probe(ns *nodeState) {
 		c.probeErrs.Add(1)
 		ns.breaker.Record(simsvc.OutcomeFailure)
 	} else {
+		c.mem.MarkAlive(ns.name)
 		// Only count the probe toward closing the breaker when the breaker
 		// is not healthy; a healthy node's steady stream of probe successes
 		// must not mask proxy failures inside the window.
@@ -287,36 +463,49 @@ func (c *Coordinator) probe(ns *nodeState) {
 	}
 }
 
-// eligible reports whether a node may receive new submissions: not drained
-// by an operator or by itself, not marked dead by probes, breaker not open.
-// It is deliberately side-effect free — Allow (which meters half-open probe
-// slots) is only called at proxy time, so a candidate that ends up unused
-// never leaks a probe token.
-func (c *Coordinator) eligible(ns *nodeState) bool {
-	healthy, draining, h, _, _ := ns.snapshot()
-	if draining || !healthy || h.Draining {
+// eligible reports whether a member may receive new submissions: on the
+// ring (not dead or departed), not draining, reachable per the last
+// probe, breaker not open. It is deliberately side-effect free — Allow
+// (which meters half-open probe slots) is only called at proxy time, so a
+// candidate that ends up unused never leaks a probe token.
+func (c *Coordinator) eligible(m Member, ns *nodeState) bool {
+	if !stateOnRing(m.State) || m.Draining {
+		return false
+	}
+	healthy, h, _, _ := ns.snapshot()
+	if !healthy || h.Draining {
 		return false
 	}
 	return ns.breaker.State() != simsvc.BreakerOpen
 }
 
 // candidates returns the submission order for a key: eligible nodes in
-// ring order, with nodes past the bounded-load capacity moved after the
-// under-capacity ones (never dropped — when the whole fleet is hot the
-// owner is still the right first try).
+// ring order, healthy-state members before suspects, and within each
+// class nodes past the bounded-load capacity after the under-capacity
+// ones (never dropped — when the whole fleet is hot the owner is still
+// the right first try).
 func (c *Coordinator) candidates(key string) []*nodeState {
-	names := c.ring.Candidates(key, 0)
-	under := make([]*nodeState, 0, len(names))
-	var over []*nodeState
-	// Capacity: c × mean load of eligible nodes, plus one of slack.
+	ring := c.mem.Ring()
+	if ring == nil {
+		return nil
+	}
+	names := ring.Candidates(key, 0)
+	type cand struct {
+		ns      *nodeState
+		suspect bool
+	}
+	elig := make([]cand, 0, len(names))
 	var total, n int
-	elig := make([]*nodeState, 0, len(names))
 	for _, name := range names {
-		ns := c.nodes[name]
-		if !c.eligible(ns) {
+		m, ok := c.mem.Member(name)
+		if !ok {
 			continue
 		}
-		elig = append(elig, ns)
+		ns := c.state(name)
+		if ns == nil || !c.eligible(m, ns) {
+			continue
+		}
+		elig = append(elig, cand{ns: ns, suspect: m.State == StateMemberSuspect})
 		total += ns.load()
 		n++
 	}
@@ -324,85 +513,218 @@ func (c *Coordinator) candidates(key string) []*nodeState {
 		return nil
 	}
 	capacity := c.loadFactor*(float64(total)/float64(n)) + 1
-	for _, ns := range elig {
-		if float64(ns.load()) > capacity {
-			over = append(over, ns)
-		} else {
-			under = append(under, ns)
+	var under, over, suspect []*nodeState
+	for _, cd := range elig {
+		switch {
+		case cd.suspect:
+			suspect = append(suspect, cd.ns)
+		case float64(cd.ns.load()) > capacity:
+			over = append(over, cd.ns)
+		default:
+			under = append(under, cd.ns)
 		}
 	}
-	return append(under, over...)
+	return append(append(under, over...), suspect...)
 }
 
 // Drain marks a node as draining (operator action via mallacc-ctl): no new
 // submissions route to it, existing jobs remain reachable. Undrain reverses
 // it. Unknown node names error.
 func (c *Coordinator) Drain(node string, drain bool) error {
-	ns, ok := c.nodes[node]
-	if !ok {
-		return fmt.Errorf("fleet: unknown node %q", node)
-	}
-	ns.mu.Lock()
-	ns.draining = drain
-	ns.mu.Unlock()
-	return nil
+	return c.mem.SetDraining(node, drain)
 }
 
 // NodeStatus is the per-node entry in the coordinator's healthz document.
 type NodeStatus struct {
-	Name     string  `json:"name"`
-	URL      string  `json:"url"`
-	Healthy  bool    `json:"healthy"`
-	Draining bool    `json:"draining"`
-	Breaker  string  `json:"breaker"`
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// State is the failure detector's verdict: healthy, suspect, dead, left.
+	State string `json:"state"`
+	// Healthy is instant transport-level reachability per the last probe.
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Breaker  string `json:"breaker"`
 	// BreakerAgeSeconds is how long the breaker has held its state.
 	BreakerAgeSeconds float64 `json:"breaker_age_seconds"`
-	// Ownership is the node's fraction of the hash space.
+	// Ownership is the node's fraction of the hash space (0 off-ring).
 	Ownership float64 `json:"ownership"`
 	simsvc.Health
 	LastError string `json:"last_error,omitempty"`
 	// ProbeAgeSeconds is the time since the node was last probed; -1
 	// before the first probe lands.
 	ProbeAgeSeconds float64 `json:"probe_age_seconds"`
+	// HeartbeatAgeSeconds is the time since the last liveness evidence
+	// (heartbeat, probe success, proxy success); -1 when none recorded.
+	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
 }
 
 // FleetHealth is the coordinator's /v1/healthz document: ok when at least
-// one node can take work, plus the full membership view mallacc-ctl status
-// renders.
+// one node can take work, plus the versioned membership view mallacc-ctl
+// status renders.
 type FleetHealth struct {
-	OK    bool         `json:"ok"`
-	Live  int          `json:"live"`
-	Total int          `json:"total"`
-	Nodes []NodeStatus `json:"nodes"`
+	OK bool `json:"ok"`
+	// Epoch is the membership view version; it advances on every join,
+	// leave, drain toggle, and failure-detector transition.
+	Epoch uint64 `json:"epoch"`
+	// ViewID identifies this coordinator's membership process instance.
+	ViewID string       `json:"view_id"`
+	Live   int          `json:"live"`
+	Total  int          `json:"total"`
+	Nodes  []NodeStatus `json:"nodes"`
 }
 
-// Healthz aggregates per-node health, breaker states and ownership.
+// Healthz aggregates per-node health, failure-detector states, breaker
+// states and ownership. Departed (left) members appear with zero
+// ownership so a hand-off's conclusion is visible; they count toward
+// neither live nor total.
 func (c *Coordinator) Healthz() FleetHealth {
-	own := c.ring.Ownership()
-	out := FleetHealth{Total: len(c.order)}
-	for _, name := range c.order {
-		ns := c.nodes[name]
-		healthy, draining, h, lastErr, probedAt := ns.snapshot()
+	view := c.mem.View()
+	var own map[string]float64
+	if ring := c.mem.Ring(); ring != nil {
+		own = ring.Ownership()
+	}
+	now := time.Now()
+	out := FleetHealth{Epoch: view.Epoch, ViewID: view.ViewID}
+	for _, m := range view.Members {
 		st := NodeStatus{
-			Name:              name,
-			URL:               ns.node.URL,
-			Healthy:           healthy,
-			Draining:          draining,
-			Breaker:           ns.breaker.State().String(),
-			BreakerAgeSeconds: ns.breaker.StateAge().Seconds(),
-			Ownership:         own[name],
-			Health:            h,
-			LastError:         lastErr,
-			ProbeAgeSeconds:   -1,
+			Name:                m.Name,
+			URL:                 m.URL,
+			State:               m.State,
+			Draining:            m.Draining,
+			Ownership:           own[m.Name],
+			ProbeAgeSeconds:     -1,
+			HeartbeatAgeSeconds: -1,
 		}
-		if !probedAt.IsZero() {
-			st.ProbeAgeSeconds = time.Since(probedAt).Seconds()
+		if m.HeartbeatAt > 0 {
+			st.HeartbeatAgeSeconds = now.Sub(time.Unix(0, m.HeartbeatAt)).Seconds()
 		}
-		if healthy && !draining {
-			out.Live++
+		if ns := c.state(m.Name); ns != nil {
+			healthy, h, lastErr, probedAt := ns.snapshot()
+			st.Healthy = healthy
+			st.Breaker = ns.breaker.State().String()
+			st.BreakerAgeSeconds = ns.breaker.StateAge().Seconds()
+			st.Health = h
+			st.LastError = lastErr
+			if !probedAt.IsZero() {
+				st.ProbeAgeSeconds = now.Sub(probedAt).Seconds()
+			}
+		}
+		if m.State != StateMemberLeft {
+			out.Total++
+			if stateOnRing(m.State) && !m.Draining && st.Healthy {
+				out.Live++
+			}
 		}
 		out.Nodes = append(out.Nodes, st)
 	}
 	out.OK = out.Live > 0
 	return out
+}
+
+// gossipMsg is the coordinator-to-coordinator view exchange: the sender's
+// identity and epoch plus either the full member list or a delta of
+// records changed since the last acknowledged round.
+type gossipMsg struct {
+	From    string   `json:"from"`
+	Epoch   uint64   `json:"epoch"`
+	ViewID  string   `json:"view_id"`
+	Full    bool     `json:"full"`
+	Members []Member `json:"members"`
+}
+
+// gossipAck is the receiver's reply: its own epoch and view identity, so
+// the sender can detect peer restarts and reset its delta baseline.
+type gossipAck struct {
+	Epoch  uint64 `json:"epoch"`
+	ViewID string `json:"view_id"`
+}
+
+// gossipLoop pushes the membership view to every peer coordinator on the
+// configured cadence: a full snapshot on the first round after a peer
+// (re)start or every gossipFullEvery rounds, deltas in between.
+func (c *Coordinator) gossipLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.gossipEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			for _, p := range c.peers {
+				c.gossipTo(p)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) gossipTo(p *peerState) {
+	p.rounds++
+	full := p.sentEpoch == 0 || p.rounds%gossipFullEvery == 0
+	var view View
+	if full {
+		view = c.mem.View()
+	} else {
+		view = c.mem.ViewSince(p.sentEpoch)
+	}
+	if !full && len(view.Members) == 0 {
+		return // nothing new; skip the round
+	}
+	msg := gossipMsg{
+		From:    c.mem.ViewID(),
+		Epoch:   view.Epoch,
+		ViewID:  view.ViewID,
+		Full:    full,
+		Members: view.Members,
+	}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Post(p.url+"/v1/fleet/gossip", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.gossipSendErrs.Add(1)
+		p.sentEpoch = 0 // resend full next round
+		return
+	}
+	var ack gossipAck
+	aerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ack)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || aerr != nil {
+		c.gossipSendErrs.Add(1)
+		p.sentEpoch = 0
+		return
+	}
+	c.gossipSent.Add(1)
+	if ack.ViewID != p.viewID {
+		// Peer restarted (or first contact): everything we think we sent is
+		// gone; start over with a full view next round.
+		p.viewID = ack.ViewID
+		p.sentEpoch = 0
+		return
+	}
+	p.sentEpoch = view.Epoch
+}
+
+// mergeView folds a remote view into the membership and adopts any new
+// members' node states. Returns true when the view changed.
+func (c *Coordinator) mergeView(v View) bool {
+	changed := c.mem.Merge(v)
+	for _, m := range v.Members {
+		if m.State != StateMemberLeft {
+			c.adoptNode(m.Name, m.URL)
+		}
+	}
+	return changed
+}
+
+// sortedNames returns the member names of a view, sorted (test helper).
+func sortedNames(v View) []string {
+	names := make([]string, 0, len(v.Members))
+	for _, m := range v.Members {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return names
 }

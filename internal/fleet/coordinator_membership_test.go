@@ -1,0 +1,477 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mallacc/internal/simsvc"
+)
+
+// waitFor polls cond until true or the deadline, failing the test after.
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProbeRejectsMalformedHealthz is the regression test for the probe
+// decode bug: a node answering 200 with garbage, half a document, JSON of
+// the wrong shape, or valid JSON followed by trailing garbage must be
+// treated as DOWN, exactly like a refused connection. Before the fix,
+// json.Decoder.Decode happily accepted "null", "{}", and a valid prefix
+// with trailing bytes, and the decode error was never checked — a
+// half-crashed process kept receiving traffic on the strength of a lie.
+func TestProbeRejectsMalformedHealthz(t *testing.T) {
+	bodies := map[string]string{
+		"garbage":        `it's not even json`,
+		"truncated":      `{"ok":true,"breaker":"healthy","wor`,
+		"null":           `null`,
+		"empty-object":   `{}`,
+		"trailing-junk":  `{"ok":true,"breaker":"healthy","workers":2}garbage`,
+		"wrong-shape":    `{"ok":true,"breaker":"healthy","workers":0}`,
+		"missing-fields": `{"ok":true}`,
+	}
+	var nodes []Node
+	order := []string{"garbage", "truncated", "null", "empty-object", "trailing-junk", "wrong-shape", "missing-fields"}
+	for i, name := range order {
+		body := bodies[name]
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, body)
+		}))
+		t.Cleanup(srv.Close)
+		nodes = append(nodes, Node{Name: []string{"a", "b", "c", "d", "e", "f", "g"}[i], URL: srv.URL})
+	}
+	// One honest node proves the validator isn't just rejecting everything.
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true,"breaker":"healthy","breaker_age_seconds":1,"workers":2,"busy":0,"queue_depth":0,"retrying":0,"draining":false}`)
+	}))
+	t.Cleanup(good.Close)
+	nodes = append(nodes, Node{Name: "honest", URL: good.URL})
+
+	c, err := NewCoordinator(CoordinatorConfig{Nodes: nodes, ProbeEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	waitFor(t, "startup probe", 5*time.Second, func() bool {
+		for _, n := range c.Healthz().Nodes {
+			if n.ProbeAgeSeconds < 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, n := range c.Healthz().Nodes {
+		if n.Name == "honest" {
+			if !n.Healthy {
+				t.Errorf("honest node marked DOWN: %s", n.LastError)
+			}
+			continue
+		}
+		if n.Healthy {
+			t.Errorf("node %s with malformed healthz marked healthy", n.Name)
+		}
+		if n.LastError == "" {
+			t.Errorf("node %s has no probe error recorded", n.Name)
+		}
+	}
+	if c.probeErrs.Load() < uint64(len(order)) {
+		t.Errorf("probe failure counter = %d, want >= %d", c.probeErrs.Load(), len(order))
+	}
+}
+
+// postJSON posts a document and decodes the response.
+func postJSON(t *testing.T, url string, in any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decode %s response: %v (%s)", url, err, body)
+		}
+	}
+	return resp
+}
+
+// TestFleetJoinHeartbeatLeaveHTTP drives the membership endpoints directly:
+// an empty coordinator admits a joiner, serves it the view, renews it via
+// heartbeats (with the view riding along only when the epoch is stale),
+// rejects heartbeats after leave, and reflects it all in /v1/healthz.
+func TestFleetJoinHeartbeatLeaveHTTP(t *testing.T) {
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true,"breaker":"healthy","workers":1}`)
+	}))
+	t.Cleanup(node.Close)
+
+	c, err := NewCoordinator(CoordinatorConfig{ProbeEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+
+	// Empty fleet: healthz reports zero members, not an error.
+	h := c.Healthz()
+	if h.Total != 0 || h.OK {
+		t.Fatalf("empty fleet healthz = %+v", h)
+	}
+
+	var jr joinResponse
+	resp := postJSON(t, ts.URL+"/v1/fleet/join", joinRequest{Name: "n1", URL: node.URL}, &jr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join status = %d", resp.StatusCode)
+	}
+	if jr.View == nil || len(jr.View.Members) != 1 || jr.View.Members[0].Name != "n1" {
+		t.Fatalf("join response view = %+v", jr.View)
+	}
+	if c.Ring() == nil || c.Ring().Lookup("anything") != "n1" {
+		t.Fatal("joined node does not own the ring")
+	}
+
+	// Up-to-date heartbeat: no view payload. Stale epoch: view included.
+	var hb joinResponse
+	postJSON(t, ts.URL+"/v1/fleet/heartbeat", joinRequest{Name: "n1", Epoch: jr.Epoch}, &hb)
+	if hb.View != nil {
+		t.Error("up-to-date heartbeat carried a view")
+	}
+	postJSON(t, ts.URL+"/v1/fleet/heartbeat", joinRequest{Name: "n1", Epoch: 0}, &hb)
+	if hb.View == nil {
+		t.Error("stale heartbeat did not carry the view")
+	}
+
+	// Unknown member heartbeats get 404 (the re-join cue).
+	resp = postJSON(t, ts.URL+"/v1/fleet/heartbeat", joinRequest{Name: "ghost"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown heartbeat status = %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed joins are rejected.
+	resp = postJSON(t, ts.URL+"/v1/fleet/join", joinRequest{Name: "Bad.Name", URL: node.URL}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad join status = %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/fleet/leave", joinRequest{Name: "n1"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/fleet/heartbeat", joinRequest{Name: "n1"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("post-leave heartbeat status = %d, want 404", resp.StatusCode)
+	}
+	if c.Ring() != nil {
+		t.Errorf("ring not empty after the only member left: %v", c.Ring().Nodes())
+	}
+}
+
+// TestAgentJoinsHeartbeatsAndRejoins runs a real Agent against a live
+// coordinator: it must appear as a healthy member, survive on heartbeats,
+// and — after the coordinator forcibly forgets it (restart simulation via
+// Leave) — re-join automatically off the 404.
+func TestAgentJoinsHeartbeatsAndRejoins(t *testing.T) {
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true,"breaker":"healthy","workers":1}`)
+	}))
+	t.Cleanup(node.Close)
+	c, err := NewCoordinator(CoordinatorConfig{ProbeEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+
+	var views atomic.Uint64
+	agent, err := NewAgent(AgentConfig{
+		Self:           Node{Name: "dyn1", URL: node.URL},
+		Coordinators:   []string{ts.URL},
+		HeartbeatEvery: 20 * time.Millisecond,
+		OnView:         func(v View) { views.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Start()
+	t.Cleanup(agent.Close)
+
+	waitFor(t, "agent join", 5*time.Second, func() bool {
+		m, ok := c.mem.Member("dyn1")
+		return ok && m.State == StateMemberHealthy
+	})
+	if agent.Epoch() == 0 {
+		t.Error("agent never adopted an epoch")
+	}
+	hb0 := agent.heartbeats.Load()
+	waitFor(t, "heartbeats", 5*time.Second, func() bool { return agent.heartbeats.Load() > hb0+2 })
+
+	// Coordinator forgets the node (as a restarted process would): the next
+	// heartbeat 404s and the agent re-joins on its own.
+	if err := c.mem.Leave("dyn1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "re-join after 404", 5*time.Second, func() bool {
+		m, ok := c.mem.Member("dyn1")
+		return ok && m.State == StateMemberHealthy
+	})
+	if agent.rejoins.Load() == 0 {
+		t.Error("rejoin counter did not move")
+	}
+	if views.Load() == 0 {
+		t.Error("OnView never fired")
+	}
+}
+
+// TestGossipSpreadsMembership wires coordinator A to gossip at coordinator
+// B and checks a join and a leave observed by A alone reach B, with both
+// routing identically.
+func TestGossipSpreadsMembership(t *testing.T) {
+	b, err := NewCoordinator(CoordinatorConfig{ProbeEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	bts := httptest.NewServer(b.Handler())
+	t.Cleanup(bts.Close)
+
+	a, err := NewCoordinator(CoordinatorConfig{
+		ProbeEvery:  time.Hour,
+		Peers:       []string{bts.URL},
+		GossipEvery: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true,"breaker":"healthy","workers":1}`)
+	}))
+	t.Cleanup(node.Close)
+
+	for _, name := range []string{"g1", "g2", "g3"} {
+		if _, err := a.mem.Join(Node{Name: name, URL: node.URL}); err != nil {
+			t.Fatal(err)
+		}
+		a.adoptNode(name, node.URL)
+	}
+	waitFor(t, "gossip to spread joins", 5*time.Second, func() bool {
+		return b.Ring() != nil && len(b.Ring().Nodes()) == 3
+	})
+	for i := 0; i < 64; i++ {
+		key := strings.Repeat("k", i+1)
+		if a.Ring().Lookup(key) != b.Ring().Lookup(key) {
+			t.Fatalf("coordinators route key %q differently", key)
+		}
+	}
+
+	if err := a.mem.Leave("g2"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "gossip to spread the leave", 5*time.Second, func() bool {
+		m, ok := b.mem.Member("g2")
+		return ok && m.State == StateMemberLeft
+	})
+	if got := len(b.Ring().Nodes()); got != 2 {
+		t.Errorf("peer ring still has %d nodes after leave", got)
+	}
+	if b.mem.Epoch() == 0 {
+		t.Error("peer epoch never advanced")
+	}
+}
+
+// TestDrainHandoffMovesCacheAndDeregisters is the hand-off e2e: two real
+// nodes, a dynamic coordinator, a report computed on its owner; drain
+// ?handoff=1 must push the cached report to the surviving node (byte
+// identical), deregister the departing member, and shrink the ring — all
+// without recomputing anything.
+func TestDrainHandoffMovesCacheAndDeregisters(t *testing.T) {
+	services := map[string]*simsvc.Service{}
+	servers := map[string]*httptest.Server{}
+	var nodes []Node
+	for _, name := range []string{"h1", "h2"} {
+		svc, err := simsvc.New(simsvc.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := name
+		mux := http.NewServeMux()
+		mux.Handle("/", svc.Handler())
+		mux.HandleFunc("POST /v1/fleet/handoff", NewHandoffHandler(name, svc.Cache(), nil))
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			svc.Drain(ctx)
+		})
+		services[name] = svc
+		servers[name] = srv
+		nodes = append(nodes, Node{Name: name, URL: srv.URL})
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Nodes: nodes, ProbeEvery: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+
+	body := `{"workload":"ubench.tp_small","calls":2000,"seed":41}`
+	key := specKey(t, body)
+	owner := coord.Ring().Lookup(key)
+	survivor := "h1"
+	if owner == "h1" {
+		survivor = "h2"
+	}
+
+	resp, err := http.Post(cts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st coordJob
+	jb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	json.Unmarshal(jb, &st)
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", st.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r2, err := http.Get(cts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, _ = io.ReadAll(r2.Body)
+		r2.Body.Close()
+		json.Unmarshal(jb, &st)
+	}
+	if st.State != simsvc.StateDone || st.Node != owner {
+		t.Fatalf("job: state=%s node=%s owner=%s", st.State, st.Node, owner)
+	}
+	origin, ok := services[owner].Cache().Get(key)
+	if !ok {
+		t.Fatal("owner does not hold the report it just computed")
+	}
+	if _, ok := services[survivor].Cache().Get(key); ok {
+		t.Fatal("survivor already holds the report; hand-off would prove nothing")
+	}
+
+	// Drain with hand-off through the operator endpoint.
+	resp, err = http.Post(cts.URL+"/v1/fleet/"+owner+"/drain?handoff=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain?handoff status = %d: %s", resp.StatusCode, db)
+	}
+	var dr struct {
+		FleetHealth
+		Handoff *HandoffResult `json:"handoff"`
+	}
+	if err := json.Unmarshal(db, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Handoff == nil || dr.Handoff.Pushed < 1 || dr.Handoff.Failed != 0 {
+		t.Fatalf("handoff summary = %+v", dr.Handoff)
+	}
+
+	// The survivor now holds the exact bytes; the departed node is a
+	// tombstone off the ring.
+	moved, ok := services[survivor].Cache().Get(key)
+	if !ok {
+		t.Fatal("survivor does not hold the handed-off report")
+	}
+	if !bytes.Equal(origin, moved) {
+		t.Fatal("handed-off report bytes differ from the origin")
+	}
+	if m, ok := coord.mem.Member(owner); !ok || m.State != StateMemberLeft {
+		t.Fatalf("departed node state = %+v", m)
+	}
+	if nodes := coord.Ring().Nodes(); len(nodes) != 1 || nodes[0] != survivor {
+		t.Fatalf("ring after departure = %v", nodes)
+	}
+	if coord.handoffs.Load() != 1 || coord.handoffKeys.Load() == 0 {
+		t.Errorf("handoff counters: %d orchestrations, %d keys",
+			coord.handoffs.Load(), coord.handoffKeys.Load())
+	}
+
+	// Resubmitting the job is answered from the survivor's cache — zero
+	// recomputes after a graceful departure.
+	misses0 := services[survivor].Registry().Snapshot().Value("simsvc.runcache.misses")
+	resp, err = http.Post(cts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st2 coordJob
+	json.Unmarshal(jb, &st2)
+	if resp.StatusCode != http.StatusOK || !st2.Cached || st2.Node != survivor {
+		t.Fatalf("resubmit after handoff: status=%d cached=%v node=%s (%s)",
+			resp.StatusCode, st2.Cached, st2.Node, jb)
+	}
+	if misses1 := services[survivor].Registry().Snapshot().Value("simsvc.runcache.misses"); misses1 != misses0 {
+		t.Errorf("survivor recomputed after handoff: runcache.misses %v -> %v", misses0, misses1)
+	}
+}
+
+// TestPeerFillerSetView checks a dynamic filler adopts a membership view:
+// ring and URLs both swap, and departed members are dropped.
+func TestPeerFillerSetView(t *testing.T) {
+	hit := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"report":true}`)
+	}))
+	t.Cleanup(hit.Close)
+
+	p, err := NewDynamicPeerFiller("self", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if _, ok := p.Fill(key); ok {
+		t.Fatal("fill hit before any view arrived")
+	}
+	now := time.Now().UnixNano()
+	p.SetView(View{Epoch: 1, Members: []Member{
+		{Node: Node{Name: "self", URL: "http://unused"}, State: StateMemberHealthy, UpdatedAt: now},
+		{Node: Node{Name: "peer", URL: hit.URL}, State: StateMemberHealthy, UpdatedAt: now},
+		{Node: Node{Name: "gone", URL: hit.URL}, State: StateMemberLeft, UpdatedAt: now},
+	}})
+	b, ok := p.Fill(key)
+	if !ok || !bytes.Contains(b, []byte("report")) {
+		t.Fatalf("fill after view: ok=%v body=%s", ok, b)
+	}
+	// A view that drops the peer makes fills miss again.
+	p.SetView(View{Epoch: 2, Members: []Member{
+		{Node: Node{Name: "self", URL: "http://unused"}, State: StateMemberHealthy, UpdatedAt: now},
+	}})
+	if _, ok := p.Fill(key); ok {
+		t.Fatal("fill hit after the peer departed")
+	}
+}

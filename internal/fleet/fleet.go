@@ -69,15 +69,33 @@ func ParseNodes(spec string) ([]Node, error) {
 		if url == "" {
 			return nil, fmt.Errorf("fleet: node %q has an empty url", name)
 		}
-		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
-			url = "http://" + url
-		}
-		nodes = append(nodes, Node{Name: name, URL: strings.TrimRight(url, "/")})
+		nodes = append(nodes, Node{Name: name, URL: NormalizeURL(url)})
 	}
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("fleet: empty node spec")
 	}
 	return nodes, nil
+}
+
+// NormalizeURL gives a bare host:port an http:// scheme and strips any
+// trailing slash — the canonical base-URL form every fleet spec uses.
+func NormalizeURL(url string) string {
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	return strings.TrimRight(url, "/")
+}
+
+// SplitURLList parses a comma-separated list of base URLs (coordinator
+// -peers, node -coord), normalizing each entry and skipping empties.
+func SplitURLList(spec string) []string {
+	var urls []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, NormalizeURL(p))
+		}
+	}
+	return urls
 }
 
 // SplitJobID splits a coordinator job id "<node>.<upstream-id>" into its

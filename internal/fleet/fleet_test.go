@@ -26,12 +26,12 @@ func TestParseNodes(t *testing.T) {
 
 	for _, bad := range []string{
 		"",
-		"n1",                  // no url
-		"n1=",                 // empty url
-		"N1=host",             // uppercase name
-		"has.dot=host",        // dot collides with job-id separator
-		"n1=a,n1=b",           // duplicate
-		"-leading-dash=host",  // must start alphanumeric
+		"n1",                 // no url
+		"n1=",                // empty url
+		"N1=host",            // uppercase name
+		"has.dot=host",       // dot collides with job-id separator
+		"n1=a,n1=b",          // duplicate
+		"-leading-dash=host", // must start alphanumeric
 	} {
 		if _, err := ParseNodes(bad); err == nil {
 			t.Errorf("ParseNodes(%q) accepted", bad)
@@ -94,10 +94,10 @@ func TestExpandGridRejectsBadInput(t *testing.T) {
 	for _, bad := range []string{
 		"",
 		"novalue",
-		"workload=",                       // no values
+		"workload=", // no values
 		"workload=ubench.gauss;workload=ubench.tp", // duplicate field
-		"workload=nope-not-a-workload",    // canonicalization fails
-		"bogus_field=1",                   // strict decode fails
+		"workload=nope-not-a-workload",             // canonicalization fails
+		"bogus_field=1",                            // strict decode fails
 		"seeds=1,2,3,4;calls=1,2,3,4;seed=" + strings.Repeat("1,", 4096) + "1", // too big
 	} {
 		if _, err := ExpandGrid(bad); err == nil {

@@ -1,0 +1,390 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testClock is a settable clock for driving the failure detector.
+type testClock struct{ t time.Time }
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestMembership(clk *testClock) *Membership {
+	return NewMembership(MembershipConfig{
+		SuspectAfter: 5 * time.Second,
+		DeadAfter:    15 * time.Second,
+		now:          clk.now,
+	})
+}
+
+func memberState(t *testing.T, m *Membership, name string) string {
+	t.Helper()
+	rec, ok := m.Member(name)
+	if !ok {
+		t.Fatalf("member %s missing", name)
+	}
+	return rec.State
+}
+
+// TestMembershipLifecycle walks one member through the whole state machine:
+// join → healthy → suspect (silence) → healthy (heartbeat) → suspect →
+// dead (more silence) → healthy (out-of-band revival) → left, with the
+// epoch strictly increasing across every view change and the ring tracking
+// eligibility.
+func TestMembershipLifecycle(t *testing.T) {
+	clk := newTestClock()
+	m := newTestMembership(clk)
+	if _, err := m.Join(Node{Name: "n1", URL: "http://127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Join(Node{Name: "n2", URL: "http://127.0.0.1:2"}); err != nil {
+		t.Fatal(err)
+	}
+	lastEpoch := m.Epoch()
+	if lastEpoch == 0 {
+		t.Fatal("joins did not advance the epoch")
+	}
+	expectEpochAbove := func(step string) {
+		t.Helper()
+		if e := m.Epoch(); e <= lastEpoch {
+			t.Fatalf("%s: epoch %d did not advance past %d", step, e, lastEpoch)
+		} else {
+			lastEpoch = e
+		}
+	}
+
+	// Fresh heartbeats are liveness, not view changes: no epoch bump.
+	clk.advance(2 * time.Second)
+	if _, ok := m.Heartbeat("n1"); !ok {
+		t.Fatal("heartbeat for a healthy member rejected")
+	}
+	if m.Tick() {
+		t.Fatal("tick with fresh members changed the view")
+	}
+	if e := m.Epoch(); e != lastEpoch {
+		t.Fatalf("heartbeat bumped the epoch: %d -> %d", lastEpoch, e)
+	}
+
+	// n2 goes silent past SuspectAfter: suspect, but still on the ring.
+	clk.advance(4 * time.Second) // n2 silent 6s, n1 silent 4s
+	if !m.Tick() {
+		t.Fatal("tick did not suspect the silent member")
+	}
+	if got := memberState(t, m, "n2"); got != StateMemberSuspect {
+		t.Fatalf("n2 state = %s, want suspect", got)
+	}
+	if got := memberState(t, m, "n1"); got != StateMemberHealthy {
+		t.Fatalf("n1 state = %s, want healthy", got)
+	}
+	expectEpochAbove("suspect")
+	if nodes := m.Ring().Nodes(); len(nodes) != 2 {
+		t.Fatalf("suspect member fell off the ring: %v", nodes)
+	}
+
+	// A heartbeat revives a suspect.
+	if _, ok := m.Heartbeat("n2"); !ok {
+		t.Fatal("heartbeat for a suspect member rejected")
+	}
+	if got := memberState(t, m, "n2"); got != StateMemberHealthy {
+		t.Fatalf("n2 state after heartbeat = %s, want healthy", got)
+	}
+	expectEpochAbove("revival")
+
+	// Keep n1 alive, let n2 die: suspect after 5s, dead after 20s total.
+	for i := 0; i < 21; i++ {
+		clk.advance(time.Second)
+		m.MarkAlive("n1")
+		m.Tick()
+	}
+	if got := memberState(t, m, "n2"); got != StateMemberDead {
+		t.Fatalf("n2 state = %s, want dead", got)
+	}
+	expectEpochAbove("death")
+	if nodes := m.Ring().Nodes(); len(nodes) != 1 || nodes[0] != "n1" {
+		t.Fatalf("dead member still on ring: %v", nodes)
+	}
+	// Dead members cannot heartbeat back in — they must re-join.
+	if _, ok := m.Heartbeat("n2"); ok {
+		t.Fatal("dead member's heartbeat accepted; want re-join required")
+	}
+	// But out-of-band liveness evidence (a probe success) revives them.
+	m.MarkAlive("n2")
+	if got := memberState(t, m, "n2"); got != StateMemberHealthy {
+		t.Fatalf("n2 state after MarkAlive = %s, want healthy", got)
+	}
+	expectEpochAbove("probe revival")
+	if nodes := m.Ring().Nodes(); len(nodes) != 2 {
+		t.Fatalf("revived member not back on ring: %v", nodes)
+	}
+
+	// Graceful departure: tombstoned, off the ring, heartbeats refused.
+	if err := m.Leave("n2"); err != nil {
+		t.Fatal(err)
+	}
+	expectEpochAbove("leave")
+	if got := memberState(t, m, "n2"); got != StateMemberLeft {
+		t.Fatalf("n2 state = %s, want left", got)
+	}
+	if nodes := m.Ring().Nodes(); len(nodes) != 1 {
+		t.Fatalf("left member still on ring: %v", nodes)
+	}
+	if _, ok := m.Heartbeat("n2"); ok {
+		t.Fatal("left member's heartbeat accepted")
+	}
+	// MarkAlive must NOT resurrect a tombstone (a probe racing a drain).
+	m.MarkAlive("n2")
+	if got := memberState(t, m, "n2"); got != StateMemberLeft {
+		t.Fatalf("MarkAlive resurrected a left member: %s", got)
+	}
+
+	joins, leaves, _, suspects, deaths, revivals, _ := m.Counts()
+	if joins != 2 || leaves != 1 || suspects < 2 || deaths != 1 || revivals < 2 {
+		t.Errorf("counters: joins=%d leaves=%d suspects=%d deaths=%d revivals=%d",
+			joins, leaves, suspects, deaths, revivals)
+	}
+}
+
+// TestMembershipChurnConvergesToFreshRing is the churn property test: any
+// join → leave → join sequence must land on exactly the ring a fresh
+// membership with the final member set would build — same golden ownership,
+// key by key. Ring identity is what makes every coordinator and node route
+// identically regardless of the membership's history.
+func TestMembershipChurnConvergesToFreshRing(t *testing.T) {
+	clk := newTestClock()
+	churned := newTestMembership(clk)
+	node := func(i int) Node {
+		return Node{Name: fmt.Sprintf("n%d", i), URL: fmt.Sprintf("http://127.0.0.1:%d", 7000+i)}
+	}
+	// A deterministic but tangled history over n1..n8: everyone joins,
+	// half leave, some of those re-join, one dies and revives, one dies
+	// and stays dead.
+	for i := 1; i <= 8; i++ {
+		if _, err := churned.Join(node(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"n2", "n4", "n6", "n8"} {
+		if err := churned.Leave(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{4, 8} {
+		if _, err := churned.Join(node(i)); err != nil { // re-join after leave
+			t.Fatal(err)
+		}
+	}
+	// n7 goes silent and dies; n5 goes suspect then recovers.
+	for i := 0; i < 21; i++ {
+		clk.advance(time.Second)
+		for _, name := range []string{"n1", "n3", "n4", "n8"} {
+			churned.MarkAlive(name)
+		}
+		if i < 10 {
+			churned.MarkAlive("n5")
+		}
+		churned.Tick()
+	}
+	churned.MarkAlive("n5") // suspect or dead — revived either way
+	if got := memberState(t, churned, "n7"); got != StateMemberDead {
+		t.Fatalf("n7 = %s, want dead", got)
+	}
+
+	// Final ring-eligible set: n1, n3, n4, n5, n8.
+	want := []string{"n1", "n3", "n4", "n5", "n8"}
+	if got := churned.Ring().Nodes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring nodes = %v, want %v", got, want)
+	}
+
+	fresh, err := NewRing(0, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(churned.Ring().Ownership(), fresh.Ownership()) {
+		t.Fatal("churned ring ownership differs from a fresh ring over the final member set")
+	}
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got, want := churned.Ring().Lookup(key), fresh.Lookup(key); got != want {
+			t.Fatalf("key %q: churned ring owner %s, fresh ring owner %s", key, got, want)
+		}
+	}
+
+	// And a membership seeded directly with the final set agrees too.
+	direct := newTestMembership(newTestClock())
+	for _, i := range []int{1, 3, 4, 5, 8} {
+		if _, err := direct.Join(node(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got, want := churned.Ring().Lookup(key), direct.Ring().Lookup(key); got != want {
+			t.Fatalf("key %q: churned %s, direct %s", key, got, want)
+		}
+	}
+}
+
+// TestMembershipViewSinceDelta checks the gossip delta cut: only records
+// changed after the baseline epoch are included, and epoch 0 degenerates
+// to the full view.
+func TestMembershipViewSinceDelta(t *testing.T) {
+	clk := newTestClock()
+	m := newTestMembership(clk)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if _, err := m.Join(Node{Name: n, URL: "http://x/" + n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := m.Epoch()
+	if got := len(m.ViewSince(0).Members); got != 3 {
+		t.Fatalf("ViewSince(0) has %d members, want 3 (full view)", got)
+	}
+	if got := len(m.ViewSince(base).Members); got != 0 {
+		t.Fatalf("ViewSince(current) has %d members, want 0", got)
+	}
+	if err := m.SetDraining("n2", true); err != nil {
+		t.Fatal(err)
+	}
+	delta := m.ViewSince(base)
+	if len(delta.Members) != 1 || delta.Members[0].Name != "n2" || !delta.Members[0].Draining {
+		t.Fatalf("delta after drain = %+v, want just n2 draining", delta.Members)
+	}
+	if delta.Epoch <= base {
+		t.Fatalf("delta epoch %d not past baseline %d", delta.Epoch, base)
+	}
+}
+
+// TestMembershipMergeConverges exchanges full views between two membership
+// tables with divergent histories and checks they agree on every member
+// state and on the ring. Also pins the tie-break: with equal freshness the
+// worse state wins, so a death verdict is sticky under gossip echo.
+func TestMembershipMergeConverges(t *testing.T) {
+	clkA, clkB := newTestClock(), newTestClock()
+	a, b := newTestMembership(clkA), newTestMembership(clkB)
+
+	// A knows n1, n2; B knows n2 (later, so fresher), n3; n4 left on B.
+	if _, err := a.Join(Node{Name: "n1", URL: "http://a/n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join(Node{Name: "n2", URL: "http://a/n2"}); err != nil {
+		t.Fatal(err)
+	}
+	clkB.advance(time.Second)
+	for _, n := range []string{"n2", "n3", "n4"} {
+		if _, err := b.Join(Node{Name: n, URL: "http://b/" + n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Leave("n4"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push views both ways until neither side changes (2 rounds suffice for
+	// a pair; the loop guards regressions in change detection).
+	for i := 0; i < 4; i++ {
+		ca := a.Merge(b.View())
+		cb := b.Merge(a.View())
+		if !ca && !cb {
+			break
+		}
+	}
+	va, vb := a.View(), b.View()
+	if len(va.Members) != len(vb.Members) {
+		t.Fatalf("member counts differ: %d vs %d", len(va.Members), len(vb.Members))
+	}
+	for i := range va.Members {
+		ma, mb := va.Members[i], vb.Members[i]
+		if ma.Name != mb.Name || ma.State != mb.State || ma.URL != mb.URL || ma.Draining != mb.Draining {
+			t.Errorf("diverged on %s: A=%+v B=%+v", ma.Name, ma, mb)
+		}
+	}
+	if !reflect.DeepEqual(a.Ring().Nodes(), b.Ring().Nodes()) {
+		t.Fatalf("rings differ: %v vs %v", a.Ring().Nodes(), b.Ring().Nodes())
+	}
+	// B joined n2 one second later: its URL must have won everywhere.
+	if m, _ := a.Member("n2"); m.URL != "http://b/n2" {
+		t.Errorf("fresher n2 record lost: %+v", m)
+	}
+	// The tombstone propagated; nobody resurrects n4.
+	if m, ok := a.Member("n4"); !ok || m.State != StateMemberLeft {
+		t.Errorf("left tombstone did not propagate: %+v", m)
+	}
+
+	// Tie-break: identical UpdatedAt, worse state sticks.
+	m2, _ := a.Member("n2")
+	echo := m2
+	echo.State = StateMemberDead
+	if !a.Merge(View{Epoch: a.Epoch(), Members: []Member{echo}}) {
+		t.Fatal("equal-timestamp worse state was not merged")
+	}
+	if got, _ := a.Member("n2"); got.State != StateMemberDead {
+		t.Fatalf("n2 = %s, want dead after worse-state tie-break", got.State)
+	}
+	// Echoing the stale healthy record back must NOT revive it.
+	if a.Merge(View{Epoch: a.Epoch(), Members: []Member{m2}}) {
+		t.Fatal("stale healthy echo reported a view change")
+	}
+	if got, _ := a.Member("n2"); got.State != StateMemberDead {
+		t.Fatalf("stale healthy echo revived n2: %s", got.State)
+	}
+
+	// Garbage records never enter the table.
+	before := len(a.View().Members)
+	a.Merge(View{Members: []Member{
+		{Node: Node{Name: "Bad.Name", URL: "http://x"}, State: StateMemberHealthy},
+		{Node: Node{Name: "okname", URL: "http://x"}, State: "zombie"},
+	}})
+	if got := len(a.View().Members); got != before {
+		t.Fatalf("invalid gossip records entered the table: %d -> %d members", before, got)
+	}
+}
+
+// TestMembershipEpochMonotonic hammers the table with every mutation kind
+// and asserts the epoch never goes backwards (the property gossip deltas
+// and agent view adoption rely on).
+func TestMembershipEpochMonotonic(t *testing.T) {
+	clk := newTestClock()
+	m := newTestMembership(clk)
+	last := uint64(0)
+	check := func(step string) {
+		t.Helper()
+		if e := m.Epoch(); e < last {
+			t.Fatalf("%s: epoch went backwards %d -> %d", step, last, e)
+		} else {
+			last = e
+		}
+	}
+	for i := 0; i < 50; i++ {
+		n := Node{Name: fmt.Sprintf("n%d", i%5), URL: "http://x"}
+		switch i % 7 {
+		case 0, 1:
+			m.Join(n)
+		case 2:
+			m.Heartbeat(n.Name)
+		case 3:
+			m.SetDraining(n.Name, i%2 == 0)
+		case 4:
+			clk.advance(7 * time.Second)
+			m.Tick()
+		case 5:
+			m.MarkAlive(n.Name)
+		case 6:
+			m.Leave(n.Name)
+		}
+		check(fmt.Sprintf("step %d", i))
+	}
+	// A merge from a peer far ahead jumps forward, never back.
+	m.Merge(View{Epoch: last + 100, Members: []Member{
+		{Node: Node{Name: "peer", URL: "http://p"}, State: StateMemberHealthy, UpdatedAt: clk.now().UnixNano()},
+	}})
+	if e := m.Epoch(); e <= last+100 {
+		t.Fatalf("merge from ahead peer: epoch %d, want > %d", e, last+100)
+	}
+}

@@ -29,11 +29,12 @@ const maxFillBytes = 16 << 20
 // add a failure mode.
 type PeerFiller struct {
 	self     string
-	ring     *Ring
 	client   *http.Client
 	maxPeers int
+	replicas int
 
 	mu   sync.RWMutex
+	ring *Ring             // nil while the membership view is empty
 	urls map[string]string // node name -> base URL
 
 	hits, misses, errs atomic.Uint64
@@ -56,16 +57,24 @@ func NewPeerFiller(self string, nodes []Node, replicas int) (*PeerFiller, error)
 	}
 	return &PeerFiller{
 		self:     self,
-		ring:     ring,
 		client:   &http.Client{Timeout: 10 * time.Second},
 		maxPeers: DefaultFillPeers,
+		replicas: replicas,
+		ring:     ring,
 		urls:     urls,
 	}, nil
 }
 
-// SetMembers replaces the peer URL table (tests wire httptest servers here;
-// a future membership service would too). Unknown ring nodes are skipped at
-// fill time, not an error here.
+// NewDynamicPeerFiller builds a filler for a node that learns its fleet at
+// runtime from the coordinator's membership view (see Agent / SetView).
+// Until the first view arrives the ring holds only self, so every fill is
+// a clean local miss.
+func NewDynamicPeerFiller(self string, replicas int) (*PeerFiller, error) {
+	return NewPeerFiller(self, []Node{{Name: self, URL: "self"}}, replicas)
+}
+
+// SetMembers replaces the peer URL table (tests wire httptest servers here).
+// Unknown ring nodes are skipped at fill time, not an error here.
 func (p *PeerFiller) SetMembers(nodes []Node) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -75,13 +84,47 @@ func (p *PeerFiller) SetMembers(nodes []Node) {
 	}
 }
 
+// SetView adopts a membership view: the ring is rebuilt from the view's
+// ring-eligible members and the URL table from every non-departed record,
+// so fills route exactly like the coordinator that emitted the view. A
+// view whose ring does not include self still works — self never asks
+// itself anyway. Called from the membership Agent on every epoch change.
+func (p *PeerFiller) SetView(v View) {
+	names := v.RingNodes()
+	var ring *Ring
+	if len(names) > 0 {
+		r, err := NewRing(p.replicas, names)
+		if err != nil {
+			return // a view with invalid names is a peer bug; keep the old ring
+		}
+		ring = r
+	}
+	urls := make(map[string]string, len(v.Members))
+	for _, m := range v.Members {
+		if m.State != StateMemberLeft {
+			urls[m.Name] = m.URL
+		}
+	}
+	p.mu.Lock()
+	p.ring = ring
+	p.urls = urls
+	p.mu.Unlock()
+}
+
 // Fill implements simsvc.Config.PeerFill: it asks up to DefaultFillPeers
 // ring candidates (skipping self) for the key's report and returns the
 // first hit. Any failure — injected fault, transport error, non-200 — just
 // moves on to the next candidate; exhaustion is a miss.
 func (p *PeerFiller) Fill(key string) ([]byte, bool) {
+	p.mu.RLock()
+	ring := p.ring
+	p.mu.RUnlock()
+	if ring == nil {
+		p.misses.Add(1)
+		return nil, false
+	}
 	asked := 0
-	for _, node := range p.ring.Candidates(key, 0) {
+	for _, node := range ring.Candidates(key, 0) {
 		if node == p.self || asked >= p.maxPeers {
 			continue
 		}

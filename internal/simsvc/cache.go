@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -235,6 +236,51 @@ func (c *Cache) insert(key string, val []byte) {
 		delete(c.entries, ent.key)
 		c.evictions.Add(1) // memory only; the disk copy, if any, stays
 	}
+}
+
+// Keys returns every content key the cache holds, in-memory and (when the
+// disk tier is enabled) on disk, deduplicated and sorted. This is the
+// drain hand-off's work list: everything a departing node can push to the
+// survivors. Disk files that do not look like content addresses (temp
+// files, the quarantine dir) are skipped.
+func (c *Cache) Keys() []string {
+	seen := map[string]bool{}
+	c.mu.Lock()
+	for k := range c.entries {
+		seen[k] = true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if ents, err := os.ReadDir(c.dir); err == nil {
+			for _, e := range ents {
+				name, ok := strings.CutSuffix(e.Name(), ".json")
+				if ok && !e.IsDir() && keyLooksHashed(name) {
+					seen[name] = true
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyLooksHashed reports whether name is a 64-char lowercase-hex content
+// address (same shape cacheKeyOK accepts at the HTTP layer).
+func keyLooksHashed(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Len returns the number of in-memory entries.

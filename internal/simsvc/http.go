@@ -29,6 +29,9 @@ import (
 //	GET    /v1/cache/{key}
 //	                     raw cached report bytes for a job key, 404 on
 //	                     miss — the fleet's peer cache-fill endpoint
+//	PUT    /v1/cache/{key}
+//	                     store report bytes under a job key — the receiving
+//	                     side of a fleet drain hand-off
 //	GET    /v1/healthz   liveness + occupancy + breaker state/age; ok=false
 //	                     (still 200) while the breaker is open
 //	GET    /v1/metrics   telemetry snapshot: JSON (compact map form) by
@@ -45,6 +48,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/traces", s.handleRecordTrace)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return faultsMiddleware(mux)
@@ -178,6 +182,39 @@ func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	w.Write(b)
+}
+
+// maxCachePutBytes bounds one handed-off report; matches the fleet's
+// peer-fill response bound.
+const maxCachePutBytes = 16 << 20
+
+// handleCachePut stores raw report bytes under a job key — the receiving
+// side of a drain hand-off: a departing node pushes each cached report to
+// its new ring owner so the work is never recomputed. Only syntactically
+// valid JSON under a well-formed content address is accepted; the body is
+// stored verbatim, so handed-off bytes serve back byte-identically.
+func (s *Service) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyOK(key) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad cache key %q (want 64 lowercase hex chars)", key))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCachePutBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("read body: "+err.Error()))
+		return
+	}
+	if !json.Valid(body) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cache value for %s is not valid JSON", key))
+		return
+	}
+	s.cache.Put(key, body)
+	s.peerStored.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Key   string `json:"key"`
+		Bytes int    `json:"bytes"`
+	}{Key: key, Bytes: len(body)})
 }
 
 // cacheKeyOK reports whether key looks like a job content address (hex

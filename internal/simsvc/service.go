@@ -87,6 +87,9 @@ type Service struct {
 	peerFill     func(key string) ([]byte, bool)
 	peerServed   atomic.Uint64
 	peerNotFound atomic.Uint64
+	// peerStored counts reports accepted via PUT /v1/cache/{key} — a
+	// departing peer handing its cache off to this node.
+	peerStored atomic.Uint64
 
 	// Run-level memoization: experiments with overlapping grids (fig13 and
 	// fig14 share every run; fig17's sweep revisits the headline points)
@@ -145,6 +148,7 @@ func New(cfg Config) (*Service, error) {
 	reg.Counter("simsvc.sse.streams", s.sseStreams.Load)
 	reg.Counter("simsvc.cache.peer.served", s.peerServed.Load)
 	reg.Counter("simsvc.cache.peer.notfound", s.peerNotFound.Load)
+	reg.Counter("simsvc.cache.peer.stored", s.peerStored.Load)
 	return s, nil
 }
 
