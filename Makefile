@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos membership-chaos designspace-smoke clean
+.PHONY: all build vet test race bench bench-smoke baseline serve-smoke chaos-smoke obs-smoke fleet-smoke fleet-chaos membership-chaos designspace-smoke scale-smoke clean
 
 all: build vet test
 
@@ -72,6 +72,12 @@ fleet-smoke:
 # the pinned digest under results/metrics/.
 designspace-smoke:
 	./scripts/designspace_smoke.sh
+
+# Scale smoke test: the seed-1 scale sweep run at GOMAXPROCS=1 and at the
+# host's full GOMAXPROCS must be byte-identical to each other and to the
+# pinned digest — the barrier-phase scheduler's determinism contract.
+scale-smoke:
+	./scripts/scale_smoke.sh
 
 # Fleet chaos test: the same grid sweep on a clean fleet and on a fleet
 # with seeded faults on every hop plus a node kill -9'd mid-sweep; the two

@@ -44,16 +44,38 @@ func (s Stats) MissRate() float64 {
 	return telemetry.Rate(s.Misses, s.Accesses())
 }
 
+// way is one cache line's metadata. A line is valid iff stamp > the
+// cache's epoch watermark: the LRU clock pre-increments before every stamp
+// write, so live lines always carry a stamp above the epoch they were
+// written in, and whole-cache invalidation (Reset, Flush) is O(1) — raise
+// the epoch to the current clock and every line goes stale at once.
+// Single-line invalidation zeroes the stamp (0 is never above any epoch).
+// Packing tag and stamp into one 16-byte struct (instead of the former
+// parallel tags/valid/stamp slices) makes a way probe touch one cache line
+// instead of three — Lookup and Insert are the hottest leaves of the
+// timing model.
+type way struct {
+	tag   uint64 // line number (addr >> LineShift); garbage while stale
+	stamp uint64 // LRU stamp; valid iff > the cache epoch
+}
+
 // Cache is one set-associative level with true-LRU replacement implemented
-// via per-line access stamps.
+// via per-line access stamps. The fields a probe reads — the way array,
+// the precomputed geometry, the clock and the epoch — lead the struct so
+// they share cache lines; cfg holds the cold configuration copy.
 type Cache struct {
+	ways    []way  // sets*cfg.Ways
+	shift   uint   // cfg.LineShift
+	setMask uint64 // sets - 1
+	nw      int    // cfg.Ways
+	clock   uint64
+	// epoch is the invalidation watermark: lines stamped at or below it are
+	// stale. The clock never rewinds (it survives Reset), so stamp order —
+	// the only thing LRU decisions read — is isomorphic to a fresh cache's.
+	epoch uint64
+	Stats Stats
 	cfg   Config
 	sets  int
-	tags  []uint64 // sets*ways; line number (addr >> LineShift), valid bit packed separately
-	valid []bool
-	stamp []uint64 // LRU stamps
-	clock uint64
-	Stats Stats
 }
 
 // New builds a cache from cfg, validating the geometry.
@@ -66,13 +88,13 @@ func New(cfg Config) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cachesim: %s set count %d not a power of two", cfg.Name, sets))
 	}
-	n := sets * cfg.Ways
 	return &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		stamp: make([]uint64, n),
+		ways:    make([]way, sets*cfg.Ways),
+		shift:   cfg.LineShift,
+		setMask: uint64(sets - 1),
+		nw:      cfg.Ways,
+		cfg:     cfg,
+		sets:    sets,
 	}
 }
 
@@ -87,20 +109,20 @@ func (c *Cache) Latency() uint64 { return c.cfg.Latency }
 
 // line returns the line number and set index for an address.
 func (c *Cache) line(addr uint64) (ln uint64, set int) {
-	ln = addr >> c.cfg.LineShift
-	return ln, int(ln) & (c.sets - 1)
+	ln = addr >> c.shift
+	return ln, int(ln & c.setMask)
 }
 
 // Lookup probes for addr without modifying contents, updating LRU and stats
 // on a hit.
 func (c *Cache) Lookup(addr uint64) bool {
 	ln, set := c.line(addr)
-	base := set * c.cfg.Ways
+	base := set * c.nw
 	c.clock++
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == ln {
-			c.stamp[i] = c.clock
+	s := c.ways[base : base+c.nw]
+	for i := range s {
+		if s[i].stamp > c.epoch && s[i].tag == ln {
+			s[i].stamp = c.clock
 			c.Stats.Hits++
 			return true
 		}
@@ -112,42 +134,47 @@ func (c *Cache) Lookup(addr uint64) bool {
 // Insert fills addr's line, evicting LRU if needed. It returns the evicted
 // line number and whether an eviction occurred (for inclusive back-
 // invalidation).
+//
+// Victim selection replicates the original parallel-slice implementation
+// exactly (byte-identical simulation output depends on it): an invalid way
+// always overwrites the running victim — so the LAST invalid way in scan
+// order wins — and otherwise the FIRST way holding the minimum stamp wins
+// (valid stamps are unique, so strict < picks the first minimum).
 func (c *Cache) Insert(addr uint64) (evicted uint64, wasEvicted bool) {
 	ln, set := c.line(addr)
-	base := set * c.cfg.Ways
+	base := set * c.nw
 	c.clock++
-	victim := base
+	s := c.ways[base : base+c.nw]
+	victim := 0
 	var oldest uint64 = ^uint64(0)
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == ln {
-			c.stamp[i] = c.clock // already present
+	for i := range s {
+		if s[i].stamp > c.epoch && s[i].tag == ln {
+			s[i].stamp = c.clock // already present
 			return 0, false
 		}
-		if !c.valid[i] {
+		if s[i].stamp <= c.epoch {
 			victim = i
 			oldest = 0
-		} else if c.stamp[i] < oldest {
+		} else if s[i].stamp < oldest {
 			victim = i
-			oldest = c.stamp[i]
+			oldest = s[i].stamp
 		}
 	}
-	wasEvicted = c.valid[victim]
-	evicted = c.tags[victim]
-	c.tags[victim] = ln
-	c.valid[victim] = true
-	c.stamp[victim] = c.clock
+	wasEvicted = s[victim].stamp > c.epoch
+	evicted = s[victim].tag
+	s[victim].tag = ln
+	s[victim].stamp = c.clock
 	return evicted, wasEvicted
 }
 
 // InvalidateLine removes a line (by line number) if present.
 func (c *Cache) InvalidateLine(ln uint64) {
-	set := int(ln) & (c.sets - 1)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == ln {
-			c.valid[i] = false
+	set := int(ln & c.setMask)
+	base := set * c.nw
+	s := c.ways[base : base+c.nw]
+	for i := range s {
+		if s[i].stamp > c.epoch && s[i].tag == ln {
+			s[i].stamp = 0
 			return
 		}
 	}
@@ -156,10 +183,9 @@ func (c *Cache) InvalidateLine(ln uint64) {
 // Contains probes without any side effects (no LRU or stats update).
 func (c *Cache) Contains(addr uint64) bool {
 	ln, set := c.line(addr)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == ln {
+	base := set * c.nw
+	for _, w := range c.ways[base : base+c.nw] {
+		if w.stamp > c.epoch && w.tag == ln {
 			return true
 		}
 	}
@@ -173,36 +199,45 @@ func (c *Cache) EvictLRUHalf() {
 	half := c.cfg.Ways / 2
 	for set := 0; set < c.sets; set++ {
 		base := set * c.cfg.Ways
+		s := c.ways[base : base+c.cfg.Ways]
 		for k := 0; k < half; k++ {
 			victim, oldest := -1, ^uint64(0)
-			for w := 0; w < c.cfg.Ways; w++ {
-				i := base + w
-				if c.valid[i] && c.stamp[i] < oldest {
-					victim, oldest = i, c.stamp[i]
+			for i := range s {
+				if s[i].stamp > c.epoch && s[i].stamp < oldest {
+					victim, oldest = i, s[i].stamp
 				}
 			}
 			if victim < 0 {
 				break
 			}
-			c.valid[victim] = false
+			s[victim].stamp = 0
 		}
 	}
 }
 
-// Flush invalidates the whole cache.
+// Reset returns the cache to a just-built state: every line invalid and
+// statistics cleared, in O(1) — the epoch watermark rises to the current
+// clock, invalidating all lines at once. The clock itself keeps running:
+// LRU reads only stamp order, which is isomorphic to a fresh cache's, so a
+// reset cache behaves identically to a new one.
+func (c *Cache) Reset() {
+	c.epoch = c.clock
+	c.Stats = Stats{}
+}
+
+// Flush invalidates the whole cache (same O(1) epoch bump as Reset, but
+// statistics survive).
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-	}
+	c.epoch = c.clock
 }
 
 // Occupancy returns the fraction of valid lines, for tests and reports.
 func (c *Cache) Occupancy() float64 {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for _, w := range c.ways {
+		if w.stamp > c.epoch {
 			n++
 		}
 	}
-	return float64(n) / float64(len(c.valid))
+	return float64(n) / float64(len(c.ways))
 }

@@ -178,13 +178,21 @@ type Core struct {
 
 	// Per-call scratch, reused across calls.
 	fetchC, doneC, commitC []uint64
-	// Bandwidth reservations: fixed-window rings indexed by cycle %
+	// Port bandwidth reservations: fixed-window rings indexed by cycle %
 	// window (see ring.go), validated by resGen so no per-call clearing
 	// is needed. These replace the old cycle-keyed maps, which both
-	// allocated on growth and retained every cycle ever reserved.
-	portRes             [numPortClasses]resRing
-	fetchRes, commitRes resRing
-	resGen              uint32
+	// allocated on growth and retained every cycle ever reserved. Commit
+	// bandwidth needs no ring at all: its request cycles are clamped to
+	// lastCommit and therefore monotone within a call, so a scalar
+	// (cycle, count) pair tracks it exactly (see bwTracker). Fetch wants
+	// are monotone too — except when DropSteps is active: a dropped
+	// micro-op records the bare redirect cycle, so the next real fetch
+	// want can fall behind the previous reservation and first-fit may
+	// land in a partially filled earlier cycle. Fetch therefore uses the
+	// scalar only on the no-drop path and keeps the ring otherwise.
+	portRes  [numPortClasses]resRing
+	fetchRes resRing
+	resGen   uint32
 	// missEnd is the analytic model's fill-buffer scratch.
 	missEnd []uint64
 }
@@ -201,7 +209,6 @@ func New(cfg Config, mem *cachesim.Hierarchy) *Core {
 		entryReady: make([]uint64, 64),
 		mshr:       make([]uint64, cfg.MSHRs),
 		fetchRes:   newResRing(),
-		commitRes:  newResRing(),
 	}
 	for i := range c.portRes {
 		if portClass(i) != portNone {
@@ -213,6 +220,21 @@ func New(cfg Config, mem *cachesim.Hierarchy) *Core {
 
 // Memory exposes the cache hierarchy (for antagonist callbacks and stats).
 func (c *Core) Memory() *cachesim.Hierarchy { return c.mem }
+
+// Reset returns the core to its just-built state — clock at zero, fresh
+// predictor counters, no outstanding prefetches or fills, statistics cleared
+// — without discarding the grown scratch buffers. The reservation generation
+// keeps counting so ring slots stamped by earlier runs stay invalid; the
+// cache hierarchy is shared-owned and reset separately by the caller.
+func (c *Core) Reset() {
+	c.cycle = 0
+	c.Stats = Stats{}
+	c.bp.Reset()
+	clear(c.entryReady)
+	clear(c.mshr)
+	clear(c.stepCyc[:])
+	clear(c.stepUops[:])
+}
 
 // SetStepObserver installs a per-call attribution sink: after every
 // scheduled call, fn receives the call's cycles and micro-ops per step tag
@@ -499,6 +521,10 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 	start := c.cycle
 	redirect := start // earliest cycle fetch may proceed (branch redirects)
 	lastCommit := start
+	var fetchBW, commitBW bwTracker
+	// Dropped micro-ops break fetch-want monotonicity (see the field
+	// comment on fetchRes); only drop-free cores take the scalar path.
+	fetchScalar := c.cfg.DropSteps == [uop.NumSteps]bool{}
 
 	for i := 0; i < n; i++ {
 		op := &ops[i]
@@ -533,7 +559,12 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 				fWant = rc
 			}
 		}
-		fCy := c.fetchRes.reserve(fWant, c.cfg.FetchWidth, gen, start)
+		var fCy uint64
+		if fetchScalar {
+			fCy = fetchBW.reserve(fWant, c.cfg.FetchWidth)
+		} else {
+			fCy = c.fetchRes.reserve(fWant, c.cfg.FetchWidth, gen, start)
+		}
 		fetchC[i] = fCy
 
 		// Ready to issue one cycle after dispatch, once operands ready.
@@ -624,7 +655,7 @@ func (c *Core) RunTrace(t uop.Trace) uint64 {
 		if lastCommit > cWant {
 			cWant = lastCommit
 		}
-		cCy := c.commitRes.reserve(cWant, c.cfg.CommitWidth, gen, start)
+		cCy := commitBW.reserve(cWant, c.cfg.CommitWidth)
 		commitC[i] = cCy
 		lastCommit = cCy
 		c.Stats.Uops++
@@ -663,10 +694,15 @@ type BranchPredictor struct {
 // not-taken).
 func NewBranchPredictor() *BranchPredictor {
 	b := &BranchPredictor{}
+	b.Reset()
+	return b
+}
+
+// Reset restores every counter to the weakly-not-taken initial state.
+func (b *BranchPredictor) Reset() {
 	for i := range b.table {
 		b.table[i] = 1
 	}
-	return b
 }
 
 // PredictAndUpdate returns the prediction for site and trains the counter

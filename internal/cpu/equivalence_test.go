@@ -151,8 +151,8 @@ func TestSchedulerMatchesReferenceOnLongSpans(t *testing.T) {
 			t.Fatalf("post-span iter %d: fast=%d ref=%d", iter, d1, d2)
 		}
 	}
-	if w := fast.commitRes.window(); w <= ringInitWindow {
-		t.Fatalf("commit ring never grew: window=%d", w)
+	if w := fast.portRes[portALU].window(); w <= ringInitWindow {
+		t.Fatalf("ALU port ring never grew: window=%d", w)
 	}
 	if fast.Stats != ref.stats {
 		t.Fatalf("stats diverge:\nfast %+v\nref  %+v", fast.Stats, ref.stats)

@@ -42,15 +42,14 @@ func TestSteadyStateMemoryBounded(t *testing.T) {
 		c.AdvanceApp(1000, nil)
 	}
 
-	snapshot := func() [numPortClasses + 4]int {
-		var s [numPortClasses + 4]int
+	snapshot := func() [numPortClasses + 3]int {
+		var s [numPortClasses + 3]int
 		for i := range c.portRes {
 			s[i] = c.portRes[i].window()
 		}
 		s[numPortClasses] = c.fetchRes.window()
-		s[numPortClasses+1] = c.commitRes.window()
-		s[numPortClasses+2] = len(c.entryReady)
-		s[numPortClasses+3] = cap(c.fetchC)
+		s[numPortClasses+1] = len(c.entryReady)
+		s[numPortClasses+2] = cap(c.fetchC)
 		return s
 	}
 	before := snapshot()

@@ -22,10 +22,18 @@ package cpu
 // if both its generation and its absolute cycle match, and every nonempty
 // call advances the clock, so by the time a generation value recurs the
 // clock has long since passed the stale slot's cycle.
+//
+// Slots are a single struct slice rather than parallel cyc/gen/cnt slices:
+// count and add touch exactly one 16-byte slot, so a probe costs one cache
+// line instead of three — reserve/add dominate the trace-replay profile.
+type resSlot struct {
+	cyc uint64 // absolute cycle this slot holds
+	gen uint32 // call generation that wrote the slot
+	cnt int32  // reservations at that cycle
+}
+
 type resRing struct {
-	cyc []uint64 // absolute cycle each slot holds
-	gen []uint32 // call generation that wrote the slot
-	cnt []int32  // reservations at that cycle
+	s []resSlot
 }
 
 // ringInitWindow is the starting window. Fast-path calls span tens to a
@@ -34,70 +42,88 @@ type resRing struct {
 const ringInitWindow = 1024
 
 func newResRing() resRing {
-	return resRing{
-		cyc: make([]uint64, ringInitWindow),
-		gen: make([]uint32, ringInitWindow),
-		cnt: make([]int32, ringInitWindow),
-	}
+	return resRing{s: make([]resSlot, ringInitWindow)}
 }
 
 // window returns the current ring capacity in cycles (for growth tests).
-func (r *resRing) window() int { return len(r.cyc) }
-
-// count returns the reservations recorded at cycle cy by the call with
-// generation g; slots written by other calls or cycles read as zero.
-func (r *resRing) count(cy uint64, g uint32) int32 {
-	i := cy & uint64(len(r.cyc)-1)
-	if r.gen[i] == g && r.cyc[i] == cy {
-		return r.cnt[i]
-	}
-	return 0
-}
-
-// add records one reservation at cy for the call with generation g that
-// started at cycle start, growing the ring when cy falls outside the
-// window.
-func (r *resRing) add(cy uint64, g uint32, start uint64) {
-	if cy-start >= uint64(len(r.cyc)) {
-		r.grow(cy, g, start)
-	}
-	i := cy & uint64(len(r.cyc)-1)
-	if r.gen[i] != g || r.cyc[i] != cy {
-		r.gen[i], r.cyc[i], r.cnt[i] = g, cy, 0
-	}
-	r.cnt[i]++
-}
+func (r *resRing) window() int { return len(r.s) }
 
 // grow doubles the window until cy fits and re-places the current call's
 // live reservations. Live cycles all lie within the old window of start,
 // so they cannot collide in the larger ring.
 func (r *resRing) grow(cy uint64, g uint32, start uint64) {
-	n := uint64(len(r.cyc))
+	n := uint64(len(r.s))
 	for cy-start >= n {
 		n *= 2
 	}
-	nr := resRing{
-		cyc: make([]uint64, n),
-		gen: make([]uint32, n),
-		cnt: make([]int32, n),
-	}
-	for i := range r.cyc {
-		if r.gen[i] == g && r.cnt[i] > 0 {
-			j := r.cyc[i] & (n - 1)
-			nr.cyc[j], nr.gen[j], nr.cnt[j] = r.cyc[i], g, r.cnt[i]
+	ns := make([]resSlot, n)
+	for i := range r.s {
+		if r.s[i].gen == g && r.s[i].cnt > 0 {
+			ns[r.s[i].cyc&(n-1)] = r.s[i]
 		}
 	}
-	*r = nr
+	r.s = ns
+}
+
+// bwTracker tracks bandwidth for an in-order resource whose request
+// cycles never decrease within a call (fetch behind fetchC[i-1], commit
+// behind lastCommit). Under monotone wants the first-fit ring scan
+// degenerates to exactly three cases — same cycle with room, same cycle
+// full, later cycle — so a (cycle, count) scalar pair replaces the ring:
+// every cycle before the current one is frozen and can never be probed
+// again, and every cycle after it has no reservations yet. The zero value
+// is an empty tracker; one lives on the stack per RunTrace call.
+type bwTracker struct {
+	cyc uint64
+	cnt int
+}
+
+// reserve returns the first cycle >= want with a free slot (limit
+// reservations per cycle) and records the reservation. want must be
+// monotone non-decreasing across calls; equivalent to resRing.reserve
+// under that precondition.
+func (t *bwTracker) reserve(want uint64, limit int) uint64 {
+	if want > t.cyc {
+		t.cyc, t.cnt = want, 1
+		return want
+	}
+	// want == t.cyc (monotonicity rules out want < t.cyc).
+	if t.cnt < limit {
+		t.cnt++
+		return t.cyc
+	}
+	t.cyc, t.cnt = t.cyc+1, 1
+	return t.cyc
 }
 
 // reserve finds the first cycle >= want with a free slot (limit
 // reservations per cycle) and records the reservation there — the ring
-// equivalent of the old map walk.
+// equivalent of the old map walk. The write is fused into the scan's
+// terminating probe: the slot that ends the scan is exactly the slot the
+// reservation lands in, so probing it again after the loop (the former
+// separate add step) would cost a second index computation and load on
+// every reservation. Growth fires at the same condition the old add used
+// (cy outside the window of start); pre-grow scan iterations could only
+// ever break on aliased slots whose stored cycle differs, so growing at
+// the probe site leaves the chosen cycle — and the simulation — unchanged.
 func (r *resRing) reserve(want uint64, limit int, g uint32, start uint64) uint64 {
 	cy := want
-	for r.count(cy, g) >= int32(limit) {
+	lim := int32(limit)
+	mask := uint64(len(r.s) - 1)
+	for {
+		if cy-start > mask {
+			r.grow(cy, g, start)
+			mask = uint64(len(r.s) - 1)
+		}
+		s := &r.s[cy&mask]
+		if s.gen != g || s.cyc != cy {
+			s.gen, s.cyc, s.cnt = g, cy, 1
+			return cy
+		}
+		if s.cnt < lim {
+			s.cnt++
+			return cy
+		}
 		cy++
 	}
-	r.add(cy, g, start)
-	return cy
 }

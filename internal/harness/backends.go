@@ -279,7 +279,7 @@ func runOffload(opt Options) *Result {
 	d.track.Finish(c.Cycle(), d.fillSnapshot)
 	res.TotalCycles = c.Cycle() - start
 	res.OSBytes = eng.Heap.Space.SbrkBytes - metaBytes
-	res.Heap = eng.Heap.Stats
+	res.Heap = eng.Heap.StatsSnapshot()
 	res.CPU = c.Stats
 	offStats := eng.Stats
 	res.Offload = &offStats

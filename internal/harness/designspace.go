@@ -54,13 +54,22 @@ func DesignSpace(opt ExpOptions) *Report {
 		meanSeries[i] = &Series{Name: "malloc-mean/" + s.Name, Unit: "cycles"}
 	}
 
-	tb := &table{header: []string{"cores", "strategy", "alloc share", "malloc mean", "fast share", "mc lookup", "lock cy/call", "cas retry/call", "rt cy", "queue depth"}}
+	// Build the full strategy × core-count grid first so the runs can
+	// execute concurrently (runClusterGrid); rows consume results in grid
+	// order, so the report is identical to a sequential sweep.
+	type cell struct {
+		cores int
+		si    int
+	}
+	var cells []cell
+	var cfgs []multicore.Config
 	for _, cores := range designSweep {
 		if cores > opt.Cores {
 			continue
 		}
 		for i, s := range strategies {
-			r := opt.runCluster(multicore.Config{
+			cells = append(cells, cell{cores: cores, si: i})
+			cfgs = append(cfgs, multicore.Config{
 				Cores:        cores,
 				Backend:      s.Backend,
 				Variant:      multicoreVariant(s.Variant),
@@ -68,49 +77,56 @@ func DesignSpace(opt ExpOptions) *Report {
 				CallsPerCore: callsPerCore,
 				Seed:         opt.Seed,
 			})
-			calls := r.MallocCalls + r.FreeCalls
-			fastShare := 0.0
-			if r.MallocCalls > 0 {
-				fastShare = float64(r.FastMallocCalls) / float64(r.MallocCalls)
+		}
+	}
+	results := opt.runClusterGrid(cfgs)
+
+	tb := &table{header: []string{"cores", "strategy", "alloc share", "malloc mean", "fast share", "mc lookup", "lock cy/call", "cas retry/call", "rt cy", "queue depth"}}
+	for ci, c := range cells {
+		cores, i, r := c.cores, c.si, results[ci]
+		s := strategies[i]
+		calls := r.MallocCalls + r.FreeCalls
+		fastShare := 0.0
+		if r.MallocCalls > 0 {
+			fastShare = float64(r.FastMallocCalls) / float64(r.MallocCalls)
+		}
+		lookup, lockCol, casCol, rtCol, depthCol := "-", "-", "-", "-", "-"
+		if r.MC != nil {
+			lookup = pct(100 * r.MCLookupHitRate())
+		}
+		switch {
+		case r.LockFree != nil:
+			if calls > 0 {
+				casCol = fmt.Sprintf("%.3f", float64(r.LockFree.CASRetries)/float64(calls))
 			}
-			lookup, lockCol, casCol, rtCol, depthCol := "-", "-", "-", "-", "-"
-			if r.MC != nil {
-				lookup = pct(100 * r.MCLookupHitRate())
+		case r.Offload != nil:
+			if r.Offload.Mallocs > 0 {
+				rtCol = fmt.Sprintf("%.1f", float64(r.Offload.RoundTripCycles)/float64(r.Offload.Mallocs))
+				depthCol = fmt.Sprintf("%.2f", float64(r.Offload.DepthSum)/float64(r.Offload.Mallocs))
 			}
-			switch {
-			case r.LockFree != nil:
-				if calls > 0 {
-					casCol = fmt.Sprintf("%.3f", float64(r.LockFree.CASRetries)/float64(calls))
-				}
-			case r.Offload != nil:
-				if r.Offload.Mallocs > 0 {
-					rtCol = fmt.Sprintf("%.1f", float64(r.Offload.RoundTripCycles)/float64(r.Offload.Mallocs))
-					depthCol = fmt.Sprintf("%.2f", float64(r.Offload.DepthSum)/float64(r.Offload.Mallocs))
-				}
-			default:
-				lockCol = fmt.Sprintf("%.2f", r.LockCyclesPerCall())
-			}
-			tb.addRow(
-				fmt.Sprintf("%d", cores),
-				s.Name,
-				pct(100*r.AllocatorFraction()),
-				fmt.Sprintf("%.1f", r.MeanMallocCycles()),
-				pct(100*fastShare),
-				lookup,
-				lockCol,
-				casCol,
-				rtCol,
-				depthCol,
-			)
-			label := fmt.Sprintf("%d", cores)
-			shareSeries[i].Points = append(shareSeries[i].Points, Point{Label: label, Value: 100 * r.AllocatorFraction()})
-			meanSeries[i].Points = append(meanSeries[i].Points, Point{Label: label, Value: r.MeanMallocCycles()})
-			if opt.Metrics {
-				rep.Runs = append(rep.Runs, RunMetrics{
-					Name:    fmt.Sprintf("%s/%s/%dcores", w.Name(), s.Name, cores),
-					Metrics: r.Telemetry,
-				})
-			}
+		default:
+			lockCol = fmt.Sprintf("%.2f", r.LockCyclesPerCall())
+		}
+		tb.addRow(
+			fmt.Sprintf("%d", cores),
+			s.Name,
+			pct(100*r.AllocatorFraction()),
+			fmt.Sprintf("%.1f", r.MeanMallocCycles()),
+			pct(100*fastShare),
+			lookup,
+			lockCol,
+			casCol,
+			rtCol,
+			depthCol,
+		)
+		label := fmt.Sprintf("%d", cores)
+		shareSeries[i].Points = append(shareSeries[i].Points, Point{Label: label, Value: 100 * r.AllocatorFraction()})
+		meanSeries[i].Points = append(meanSeries[i].Points, Point{Label: label, Value: r.MeanMallocCycles()})
+		if opt.Metrics {
+			rep.Runs = append(rep.Runs, RunMetrics{
+				Name:    fmt.Sprintf("%s/%s/%dcores", w.Name(), s.Name, cores),
+				Metrics: r.Telemetry,
+			})
 		}
 	}
 	rep.addTable("design-space study", tb)

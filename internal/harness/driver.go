@@ -348,7 +348,7 @@ func Run(opt Options) *Result {
 	d.track.Finish(c.Cycle(), d.fillSnapshot)
 	res.TotalCycles = c.Cycle() - start
 	res.OSBytes = heap.Space.SbrkBytes - metaBytes
-	res.Heap = heap.Stats
+	res.Heap = heap.StatsSnapshot()
 	res.CPU = c.Stats
 	if heap.MC != nil {
 		mcStats := heap.MC.Stats
@@ -371,14 +371,15 @@ func StepNames() []string {
 
 func (d *driver) Malloc(size uint64) uint64 {
 	d.heap.Em.Reset()
-	fastBefore := d.heap.Stats.FastHits
-	addr := d.heap.Malloc(d.tc(), size)
+	tc := d.tc()
+	fastBefore := tc.Stats.FastHits
+	addr := d.heap.Malloc(tc, size)
 	d.tick()
 	cyc := d.core.RunTrace(d.heap.Em.Trace())
 	d.res.MallocHist.Add(cyc)
 	d.res.MallocCycles += cyc
 	d.res.MallocCalls++
-	if d.heap.Stats.FastHits != fastBefore {
+	if tc.Stats.FastHits != fastBefore {
 		d.res.FastMallocCycles += cyc
 		d.res.FastMallocCalls++
 	}

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mallacc/internal/area"
 	"mallacc/internal/multicore"
@@ -52,6 +54,51 @@ func (o ExpOptions) runCluster(cfg multicore.Config) *multicore.Result {
 		return o.SubmitCluster(cfg)
 	}
 	return multicore.Run(cfg)
+}
+
+// runClusterGrid executes a batch of multi-core simulations and returns the
+// results in input order. Without an injected submitter the runs execute
+// concurrently on a bounded worker pool: each run is internally
+// deterministic regardless of host scheduling (the engine's determinism
+// matrix), and results are consumed strictly by input slot, so the report a
+// sweep produces is byte-identical to the sequential one. With a submitter
+// the runs stay sequential — the simulation service schedules, shards and
+// caches them itself.
+func (o ExpOptions) runClusterGrid(cfgs []multicore.Config) []*multicore.Result {
+	out := make([]*multicore.Result, len(cfgs))
+	if o.SubmitCluster != nil {
+		for i, cfg := range cfgs {
+			out[i] = o.SubmitCluster(cfg)
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			out[i] = multicore.Run(cfg)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = multicore.Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {

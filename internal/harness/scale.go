@@ -42,49 +42,64 @@ func Scale(opt ExpOptions) *Report {
 		shareSeries[v] = &Series{Name: "allocator-share/" + v.String(), Unit: "%"}
 	}
 
-	tb := &table{header: []string{"cores", "variant", "alloc share", "malloc mean", "mc lookup", "mc pop", "lock cy/call", "pageheap cy/call", "remote frees"}}
+	// Build the full sweep grid first so the runs can execute concurrently
+	// (runClusterGrid); the rows below consume results in grid order, so the
+	// report is identical to a sequential sweep.
+	type cell struct {
+		cores int
+		v     multicore.Variant
+	}
+	var cells []cell
+	var cfgs []multicore.Config
 	for _, cores := range scaleSweep {
 		if cores > opt.Cores {
 			continue
 		}
 		for _, v := range variants {
-			r := opt.runCluster(multicore.Config{
+			cells = append(cells, cell{cores: cores, v: v})
+			cfgs = append(cfgs, multicore.Config{
 				Cores:        cores,
 				Variant:      v,
 				Workload:     w,
 				CallsPerCore: callsPerCore,
 				Seed:         opt.Seed,
 			})
-			calls := r.MallocCalls + r.FreeCalls
-			phPerCall := 0.0
-			if calls > 0 {
-				phPerCall = float64(r.PageHeapLock.Cycles()) / float64(calls)
-			}
-			lookup, pop := "-", "-"
-			if r.MC != nil {
-				lookup = pct(100 * r.MCLookupHitRate())
-				pop = pct(100 * r.MCPopHitRate())
-			}
-			tb.addRow(
-				fmt.Sprintf("%d", cores),
-				v.String(),
-				pct(100*r.AllocatorFraction()),
-				fmt.Sprintf("%.1f", r.MeanMallocCycles()),
-				lookup,
-				pop,
-				fmt.Sprintf("%.2f", r.LockCyclesPerCall()),
-				fmt.Sprintf("%.2f", phPerCall),
-				fmt.Sprintf("%d", r.RemoteFrees),
-			)
-			label := fmt.Sprintf("%d", cores)
-			lockSeries[v].Points = append(lockSeries[v].Points, Point{Label: label, Value: r.LockCyclesPerCall()})
-			shareSeries[v].Points = append(shareSeries[v].Points, Point{Label: label, Value: 100 * r.AllocatorFraction()})
-			if opt.Metrics {
-				rep.Runs = append(rep.Runs, RunMetrics{
-					Name:    fmt.Sprintf("%s/%s/%dcores", w.Name(), v.String(), cores),
-					Metrics: r.Telemetry,
-				})
-			}
+		}
+	}
+	results := opt.runClusterGrid(cfgs)
+
+	tb := &table{header: []string{"cores", "variant", "alloc share", "malloc mean", "mc lookup", "mc pop", "lock cy/call", "pageheap cy/call", "remote frees"}}
+	for ci, c := range cells {
+		cores, v, r := c.cores, c.v, results[ci]
+		calls := r.MallocCalls + r.FreeCalls
+		phPerCall := 0.0
+		if calls > 0 {
+			phPerCall = float64(r.PageHeapLock.Cycles()) / float64(calls)
+		}
+		lookup, pop := "-", "-"
+		if r.MC != nil {
+			lookup = pct(100 * r.MCLookupHitRate())
+			pop = pct(100 * r.MCPopHitRate())
+		}
+		tb.addRow(
+			fmt.Sprintf("%d", cores),
+			v.String(),
+			pct(100*r.AllocatorFraction()),
+			fmt.Sprintf("%.1f", r.MeanMallocCycles()),
+			lookup,
+			pop,
+			fmt.Sprintf("%.2f", r.LockCyclesPerCall()),
+			fmt.Sprintf("%.2f", phPerCall),
+			fmt.Sprintf("%d", r.RemoteFrees),
+		)
+		label := fmt.Sprintf("%d", cores)
+		lockSeries[v].Points = append(lockSeries[v].Points, Point{Label: label, Value: r.LockCyclesPerCall()})
+		shareSeries[v].Points = append(shareSeries[v].Points, Point{Label: label, Value: 100 * r.AllocatorFraction()})
+		if opt.Metrics {
+			rep.Runs = append(rep.Runs, RunMetrics{
+				Name:    fmt.Sprintf("%s/%s/%dcores", w.Name(), v.String(), cores),
+				Metrics: r.Telemetry,
+			})
 		}
 	}
 	rep.addTable("core-count scaling", tb)

@@ -11,7 +11,10 @@
 // hierarchy and TLB models consume.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 const (
 	// PageShift matches TCMalloc's kPageShift at the evaluated revision:
@@ -26,13 +29,128 @@ const (
 	CacheLineSize = 64
 )
 
+// wordShardCount shards the word store so concurrent cores touching
+// disjoint addresses rarely contend on the same lock in shared mode. 64
+// shards keep the per-shard tables small enough to stay cache-resident.
+const wordShardCount = 64
+
+// wordShardInitSlots is a fresh shard's slot count (power of two).
+const wordShardInitSlots = 256
+
+// wordShard is one open-addressed uint64->uint64 table with linear probing.
+// Key 0 marks an empty slot (heap addresses start at Space.base, never 0).
+// Keys are never removed: writing value 0 zeroes the slot's value in place,
+// and zero-valued keys are dropped at the next rehash. The mapping exposed
+// through get/set is therefore order-independent, which keeps concurrent
+// same-shard writes to distinct addresses deterministic.
+type wordShard struct {
+	mu   sync.Mutex
+	keys []uint64
+	vals []uint64
+	used int // occupied slots, including zero-valued keys
+	live int // keys holding a nonzero value
+}
+
+// wordHash mixes an 8-aligned address into well-distributed bits; the top
+// bits pick the shard, the low bits the starting slot.
+func wordHash(addr uint64) uint64 {
+	h := addr * 0x9e3779b97f4a7c15
+	return h ^ (h >> 29)
+}
+
+func (sh *wordShard) get(h, addr uint64) uint64 {
+	if len(sh.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(sh.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		k := sh.keys[i]
+		if k == addr {
+			return sh.vals[i]
+		}
+		if k == 0 {
+			return 0
+		}
+	}
+}
+
+func (sh *wordShard) set(h, addr, val uint64) {
+	if len(sh.keys) == 0 {
+		if val == 0 {
+			return
+		}
+		sh.keys = make([]uint64, wordShardInitSlots)
+		sh.vals = make([]uint64, wordShardInitSlots)
+	}
+	mask := uint64(len(sh.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch sh.keys[i] {
+		case addr:
+			if val == 0 {
+				if sh.vals[i] != 0 {
+					sh.live--
+				}
+			} else if sh.vals[i] == 0 {
+				sh.live++
+			}
+			sh.vals[i] = val
+			return
+		case 0:
+			if val == 0 {
+				return
+			}
+			sh.keys[i] = addr
+			sh.vals[i] = val
+			sh.used++
+			sh.live++
+			if sh.used*4 >= len(sh.keys)*3 {
+				sh.rehash()
+			}
+			return
+		}
+	}
+}
+
+// rehash grows the table and drops zero-valued keys accumulated since the
+// last rehash.
+func (sh *wordShard) rehash() {
+	n := len(sh.keys) * 2
+	for n < sh.live*2 {
+		n *= 2
+	}
+	oldK, oldV := sh.keys, sh.vals
+	sh.keys = make([]uint64, n)
+	sh.vals = make([]uint64, n)
+	sh.used, sh.live = 0, 0
+	mask := uint64(n - 1)
+	for i, k := range oldK {
+		if k == 0 || oldV[i] == 0 {
+			continue
+		}
+		for j := wordHash(k) & mask; ; j = (j + 1) & mask {
+			if sh.keys[j] == 0 {
+				sh.keys[j] = k
+				sh.vals[j] = oldV[i]
+				break
+			}
+		}
+		sh.used++
+		sh.live++
+	}
+}
+
 // Space is a simulated flat address space with an sbrk-style growth pointer
 // and a sparse 8-byte word store.
 type Space struct {
 	base  uint64
 	brk   uint64
 	limit uint64
-	words map[uint64]uint64
+
+	// shards is the sharded word store; shared arms the per-shard locks so
+	// cores running concurrently in the parallel multicore scheduler can
+	// touch disjoint addresses safely.
+	shards [wordShardCount]wordShard
+	shared bool
 
 	// SbrkCalls counts OS memory requests, which the timing model charges
 	// as expensive system calls.
@@ -50,7 +168,7 @@ func NewSpace(base, limit uint64) *Space {
 	if limit <= base || limit > 1<<AddressBits {
 		panic("mem: bad limit")
 	}
-	return &Space{base: base, brk: base, limit: limit, words: make(map[uint64]uint64)}
+	return &Space{base: base, brk: base, limit: limit}
 }
 
 // NewDefaultSpace returns a space with the layout used throughout the
@@ -79,30 +197,101 @@ func (s *Space) Sbrk(n uint64) uint64 {
 	return addr
 }
 
+// SetShared arms (or disarms) the per-shard word locks. The parallel
+// multicore scheduler sets it before launching core goroutines; single-
+// threaded users skip the locks entirely.
+func (s *Space) SetShared(on bool) { s.shared = on }
+
 // ReadWord returns the 8-byte word at addr (0 if never written). addr must
 // be 8-byte aligned: the allocator only stores aligned pointers.
 func (s *Space) ReadWord(addr uint64) uint64 {
 	if addr%8 != 0 {
 		panic(fmt.Sprintf("mem: unaligned read at %#x", addr))
 	}
-	return s.words[addr]
+	h := wordHash(addr)
+	sh := &s.shards[h>>(64-6)]
+	if s.shared {
+		sh.mu.Lock()
+		v := sh.get(h, addr)
+		sh.mu.Unlock()
+		return v
+	}
+	return sh.get(h, addr)
 }
 
-// WriteWord stores an 8-byte word at addr.
+// WriteWord stores an 8-byte word at addr. Writing 0 un-materializes the
+// word (free objects whose in-band pointers are cleared stop counting as
+// live state).
 func (s *Space) WriteWord(addr, val uint64) {
 	if addr%8 != 0 {
 		panic(fmt.Sprintf("mem: unaligned write at %#x", addr))
 	}
-	if val == 0 {
-		delete(s.words, addr)
+	if addr == 0 {
+		panic("mem: write at address 0")
+	}
+	h := wordHash(addr)
+	sh := &s.shards[h>>(64-6)]
+	if s.shared {
+		sh.mu.Lock()
+		sh.set(h, addr, val)
+		sh.mu.Unlock()
 		return
 	}
-	s.words[addr] = val
+	sh.set(h, addr, val)
 }
 
 // WordsLive returns how many distinct words are materialized; used by tests
 // to check the simulation does not leak per-allocation state.
-func (s *Space) WordsLive() int { return len(s.words) }
+func (s *Space) WordsLive() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].live
+	}
+	return n
+}
+
+// SpaceMark captures a Space's full state so a pooled simulation can rewind
+// to it: the growth pointer, the OS-request counters, and every live word.
+type SpaceMark struct {
+	brk       uint64
+	sbrkCalls int
+	sbrkBytes uint64
+	addrs     []uint64
+	vals      []uint64
+}
+
+// Mark snapshots the current state. It is meant to be taken right after
+// construction, when few or no words are live.
+func (s *Space) Mark() SpaceMark {
+	m := SpaceMark{brk: s.brk, sbrkCalls: s.SbrkCalls, sbrkBytes: s.SbrkBytes}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for j, k := range sh.keys {
+			if k != 0 && sh.vals[j] != 0 {
+				m.addrs = append(m.addrs, k)
+				m.vals = append(m.vals, sh.vals[j])
+			}
+		}
+	}
+	return m
+}
+
+// Reset rewinds the space to a previously taken mark, keeping the shard
+// tables' capacity so a pooled run re-populates them without reallocating.
+func (s *Space) Reset(m SpaceMark) {
+	s.brk = m.brk
+	s.SbrkCalls = m.sbrkCalls
+	s.SbrkBytes = m.sbrkBytes
+	for i := range s.shards {
+		sh := &s.shards[i]
+		clear(sh.keys)
+		clear(sh.vals)
+		sh.used, sh.live = 0, 0
+	}
+	for i, a := range m.addrs {
+		s.WriteWord(a, m.vals[i])
+	}
+}
 
 // RoundUp rounds n up to a multiple of align (a power of two).
 func RoundUp(n, align uint64) uint64 {
@@ -151,3 +340,13 @@ func (a *Arena) Alloc(n, align uint64) uint64 {
 	a.cur = addr + n
 	return addr
 }
+
+// ArenaMark captures an arena's bump state for pooled rewinds.
+type ArenaMark struct{ cur, end uint64 }
+
+// Mark snapshots the arena's bump pointer.
+func (a *Arena) Mark() ArenaMark { return ArenaMark{cur: a.cur, end: a.end} }
+
+// Reset rewinds the arena to a mark. The owning Space must be rewound to a
+// matching mark as well, so any post-mark growth replays identically.
+func (a *Arena) Reset(m ArenaMark) { a.cur, a.end = m.cur, m.end }

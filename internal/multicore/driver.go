@@ -7,6 +7,8 @@ import (
 	"mallacc/internal/mem"
 	"mallacc/internal/stats"
 	"mallacc/internal/tcmalloc"
+	"mallacc/internal/telemetry"
+	"mallacc/internal/uop"
 )
 
 // remoteFree is one cross-core free waiting in a consumer core's inbox.
@@ -45,7 +47,11 @@ type coreState struct {
 	lft *lockfree.Thread      // nil unless Backend == "lockfree"
 	mc  *core.MallocCache     // nil unless Variant == Mallacc
 	hw  *core.SampleCounter   // nil unless Variant == Mallacc on tcmalloc
+	em  *uop.Emitter          // core-local trace emitter (tcmalloc substrate)
 	rng *stats.RNG
+	// prof is the per-core step profiler; kept on the state so a pooled
+	// engine can reset it between runs.
+	prof *telemetry.StepProfiler
 
 	budget   int
 	epochEnd uint64
@@ -53,6 +59,15 @@ type coreState struct {
 
 	inbox    []remoteFree
 	inboxPos int
+
+	// Barrier-scheduler state (parallel.go): gated marks the core admitted
+	// to the shared tier for the current quantum; liveSizes/qNet/qMax/
+	// quanta are the core-local live-byte ledger merged after the run.
+	gated     bool
+	liveSizes map[uint64]uint64
+	qNet      int64
+	qMax      int64
+	quanta    []quantumLive
 
 	footBase  uint64
 	footLines uint64
@@ -72,17 +87,17 @@ func (cs *coreState) Malloc(size uint64) uint64 {
 		return cs.mallocLockfree(size)
 	}
 	h := eng.heap
-	h.Em.Reset()
-	fastBefore := h.Stats.FastHits
+	cs.em.Reset()
+	fastBefore := cs.tc.Stats.FastHits
 	addr := h.Malloc(cs.tc, size)
-	cyc := cs.cpu.RunTrace(h.Em.Trace())
+	cyc := cs.cpu.RunTrace(cs.em.Trace())
 	cs.res.MallocCycles += cyc
 	cs.res.MallocCalls++
-	if h.Stats.FastHits != fastBefore {
+	if cs.tc.Stats.FastHits != fastBefore {
 		cs.res.FastMallocCycles += cyc
 		cs.res.FastMallocCalls++
 	}
-	cs.eng.trackLive(addr, size)
+	cs.trackLive(addr, size)
 	return addr
 }
 
@@ -96,7 +111,7 @@ func (cs *coreState) mallocOffload(size uint64) uint64 {
 	cyc := cs.cpu.RunTrace(em.Trace())
 	cs.res.MallocCycles += cyc
 	cs.res.MallocCalls++
-	eng.trackLive(addr, size)
+	cs.trackLive(addr, size)
 	return addr
 }
 
@@ -114,7 +129,7 @@ func (cs *coreState) mallocLockfree(size uint64) uint64 {
 		cs.res.FastMallocCycles += cyc
 		cs.res.FastMallocCalls++
 	}
-	eng.trackLive(addr, size)
+	cs.trackLive(addr, size)
 	return addr
 }
 
@@ -154,7 +169,7 @@ func (cs *coreState) pickPeer() int {
 // freeLocal executes one free on this core.
 func (cs *coreState) freeLocal(addr, sizeHint uint64) {
 	eng := cs.eng
-	eng.untrackLive(addr)
+	cs.untrackLive(addr)
 	switch {
 	case eng.off != nil:
 		em := eng.offEm
@@ -174,9 +189,9 @@ func (cs *coreState) freeLocal(addr, sizeHint uint64) {
 		return
 	}
 	h := eng.heap
-	h.Em.Reset()
+	cs.em.Reset()
 	h.Free(cs.tc, addr, sizeHint)
-	cyc := cs.cpu.RunTrace(h.Em.Trace())
+	cyc := cs.cpu.RunTrace(cs.em.Trace())
 	cs.res.FreeCycles += cyc
 	cs.res.FreeCalls++
 }
@@ -215,14 +230,26 @@ func (cs *coreState) Antagonize() {
 	cs.cpu.Memory().Antagonize()
 }
 
-// trackLive maintains the shared rounded-footprint accounting (the engine
-// mutex is held whenever a core executes).
-func (eng *Engine) trackLive(addr, size uint64) {
+// trackLive maintains the rounded-footprint accounting. Under the relay
+// scheduler the ledger is engine-global (the engine mutex is held whenever
+// a core executes); under the barrier scheduler each core accumulates its
+// own deltas — no remote frees means every free lands on the allocating
+// core — and replayPeak merges them in serialized order after the run.
+func (cs *coreState) trackLive(addr, size uint64) {
+	eng := cs.eng
 	rounded := size
 	if _, r, ok := eng.sizeMap().ClassFor(size); ok {
 		rounded = r
 	} else {
 		rounded = mem.RoundUp(size, mem.PageSize)
+	}
+	if eng.parallel {
+		cs.liveSizes[addr] = rounded
+		cs.qNet += int64(rounded)
+		if cs.qNet > cs.qMax {
+			cs.qMax = cs.qNet
+		}
+		return
 	}
 	eng.liveSizes[addr] = rounded
 	eng.liveBytes += rounded
@@ -231,7 +258,15 @@ func (eng *Engine) trackLive(addr, size uint64) {
 	}
 }
 
-func (eng *Engine) untrackLive(addr uint64) {
+func (cs *coreState) untrackLive(addr uint64) {
+	eng := cs.eng
+	if eng.parallel {
+		if r, ok := cs.liveSizes[addr]; ok {
+			cs.qNet -= int64(r)
+			delete(cs.liveSizes, addr)
+		}
+		return
+	}
 	if r, ok := eng.liveSizes[addr]; ok {
 		eng.liveBytes -= r
 		delete(eng.liveSizes, addr)

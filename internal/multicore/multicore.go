@@ -109,7 +109,21 @@ type Config struct {
 	EpochCycles uint64
 	// RemoteFreeProb is the probability a free is posted to a peer core
 	// instead of executing locally (default 0.15; negative disables).
+	// Disabling it removes all mid-epoch cross-core dataflow, which lets
+	// the engine run cores concurrently (see Serialize).
 	RemoteFreeProb float64
+	// Serialize forces the serialized relay scheduler even for configs the
+	// barrier-phase scheduler could run concurrently (tcmalloc substrate,
+	// no remote frees). Output is byte-identical either way; tests use it
+	// as the frozen reference for lockstep equivalence.
+	Serialize bool
+	// Reuse lets Run recycle a finished engine for the next identical
+	// config instead of rebuilding heap, cores and caches from scratch
+	// (every simulated structure is rewound to its post-construction
+	// state, so results are byte-identical to a fresh engine's). Meant
+	// for benchmarks and repeated sweeps; ignored for configs the pool
+	// cannot key (custom workloads, external registries, reporters).
+	Reuse bool
 	// Registry receives all metrics; a fresh one is created when nil.
 	Registry *telemetry.Registry
 
@@ -175,6 +189,18 @@ type Engine struct {
 	epoch  uint64
 	yields uint64
 	track  *progress.Tracker
+
+	// Barrier-phase scheduler state (parallel.go). parallel selects the
+	// concurrent scheduler; finished/pending/runnable implement the
+	// per-epoch barrier.
+	parallel bool
+	finished []bool
+	pending  int
+	runnable int
+
+	// pooled marks an engine built for reuse (pool.go): its emitters keep
+	// their slabs between runs instead of recycling them at the end.
+	pooled bool
 
 	metaBytes uint64
 	liveBytes uint64
@@ -259,6 +285,8 @@ func New(cfg Config) *Engine {
 		switch {
 		case eng.heap != nil:
 			cs.tc = eng.heap.NewThread()
+			cs.em = uop.NewEmitter()
+			cs.tc.Em = cs.em
 		case eng.lf != nil:
 			cs.lft = eng.lf.NewThread()
 		}
@@ -276,6 +304,13 @@ func New(cfg Config) *Engine {
 			cs.footBase = uint64(1) << 40
 			cs.footLines = footLines
 		}
+		if cs.tc != nil {
+			// The shared heap resolves accelerator state and the trace
+			// emitter through the thread cache, so concurrent cores never
+			// touch heap-level fields.
+			cs.tc.MC = cs.mc
+			cs.tc.HW = cs.hw
+		}
 		cs.budget = cfg.CallsPerCore
 		if i < len(cfg.CoreCalls) && cfg.CoreCalls[i] > 0 {
 			cs.budget = cfg.CoreCalls[i]
@@ -288,6 +323,23 @@ func New(cfg Config) *Engine {
 	}
 	if eng.lf != nil {
 		eng.lf.MC = nil
+	}
+	// The barrier-phase scheduler needs a run with no mid-epoch cross-core
+	// dataflow: remote frees post to peer inboxes with intra-epoch drain
+	// semantics, and the lockfree/offload substrates route every call
+	// through shared state, so those stay on the serialized relay.
+	eng.parallel = !cfg.Serialize && eng.heap != nil && cfg.RemoteFreeProb == 0
+	if eng.parallel {
+		for _, cs := range eng.cores {
+			cs.tc.Gate = cs.gate
+			cs.liveSizes = map[uint64]uint64{}
+		}
+	}
+	if cfg.Reuse && eng.heap != nil {
+		// Snapshot the clean state so the engine pool can rewind and rerun
+		// this engine for the next identical config.
+		eng.heap.MarkClean()
+		eng.pooled = true
 	}
 	eng.registerMetrics()
 	return eng
@@ -306,6 +358,10 @@ func (cs *coreState) beginQuantum() {
 // the cores stay aligned on logical time.
 func (cs *coreState) checkpoint() {
 	eng := cs.eng
+	if eng.parallel {
+		cs.checkpointParallel()
+		return
+	}
 	for cs.cpu.Cycle() >= cs.epochEnd {
 		eng.yields++
 		cs.res.Yields++
@@ -359,25 +415,26 @@ func (eng *Engine) fillSnapshot(s *progress.Snapshot) {
 	s.MCHitRate = telemetry.Ratio(lookupHits, lookupMisses)
 }
 
-// setActive installs core id as the executing core: the token, plus the
-// heap's per-core accelerator state (the malloc cache models an in-core
-// structure, so the shared heap must emit against the running core's).
+// setActive installs core id as the executing core: the token, plus — for
+// the lock-free substrate, which has no per-thread accelerator slots — the
+// shared heap's malloc cache (the tcmalloc substrate resolves per-core
+// state through ThreadCache fields instead).
 func (eng *Engine) setActive(id int) {
 	cs := eng.cores[id]
 	eng.turn = id
 	eng.active = cs
-	if eng.heap != nil {
-		eng.heap.MC = cs.mc
-		eng.heap.HWCounter = cs.hw
-	}
 	if eng.lf != nil {
 		eng.lf.MC = cs.mc
 	}
 }
 
 // Run executes every core's shard to completion and returns the collected
-// result. It may be called once per Engine.
+// result. An engine runs once; the package-level Run reruns pooled engines
+// only after rewinding them through reset (pool.go).
 func (eng *Engine) Run() *Result {
+	if eng.parallel {
+		return eng.runParallel()
+	}
 	eng.mu.Lock()
 	eng.setActive(0)
 	eng.mu.Unlock()
@@ -410,7 +467,16 @@ func (eng *Engine) Run() *Result {
 	eng.track.Finish(wall, eng.fillSnapshot)
 	eng.mu.Unlock()
 	res := eng.collect()
-	// The engine is single-shot; return the substrate's trace slabs.
+	if !eng.pooled {
+		eng.recycleEmitters()
+	}
+	return res
+}
+
+// recycleEmitters returns every emitter's trace slabs. Pooled engines skip
+// this after each run — they keep their slabs for the next rewind — and the
+// pool calls it directly when an engine is finally dropped.
+func (eng *Engine) recycleEmitters() {
 	switch {
 	case eng.heap != nil:
 		eng.heap.Em.Recycle()
@@ -420,7 +486,11 @@ func (eng *Engine) Run() *Result {
 		eng.off.Heap.Em.Recycle()
 		eng.offEm.Recycle()
 	}
-	return res
+	for _, cs := range eng.cores {
+		if cs.em != nil {
+			cs.em.Recycle()
+		}
+	}
 }
 
 // runCore is one core's goroutine body: wait for the token, run the shard

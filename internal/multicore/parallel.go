@@ -1,0 +1,223 @@
+package multicore
+
+import (
+	"sort"
+	"sync"
+
+	"mallacc/internal/stats"
+)
+
+// Parallel barrier-phase scheduler.
+//
+// When the config has no cross-core free traffic (RemoteFreeProb < 0) on
+// the tcmalloc substrate, cores within an epoch have no mid-epoch dataflow:
+// every malloc/free runs against the core's private cpu.Core, caches,
+// thread cache, malloc cache and trace emitter, and the only shared state
+// is the heap's central tier (central free lists, transfer cache, page
+// heap, page map, spinlock table) plus the simulated word store. The engine
+// then runs every core's epoch-e quantum concurrently on real goroutines
+// and synchronizes twice per epoch:
+//
+//   - Shared-structure admission (coreState.gate, installed as the thread
+//     cache's Gate hook): before a core's first central-tier operation of a
+//     quantum it blocks until every lower-ID core has finished its quantum.
+//     Cores therefore enter the shared tier one at a time, in core-ID
+//     order within the epoch — exactly the order the serialized relay
+//     scheduler produces — and lock-model reads of the global epoch and
+//     the active core stay deterministic.
+//
+//   - Epoch barrier (Engine.finishQuantum): a core whose logical clock
+//     crossed the epoch boundary marks its quantum finished; the last
+//     finisher advances the epoch, emits the progress observation, resets
+//     the per-epoch flags and releases everyone into the next epoch.
+//
+// Determinism argument: the serialized scheduler executes quanta in
+// (epoch, coreID) order. Under the barrier scheduler each core's quantum
+// is a deterministic function of its own prior state (all core-private),
+// shared-tier operations are totally ordered by (epoch, coreID) via the
+// gate, and merged aggregates (peak live bytes) are replayed in
+// (epoch, coreID) order after the run. Every observable is therefore
+// byte-identical to the relay scheduler's — which the lockstep-equivalence
+// and determinism-matrix tests assert.
+//
+// Race-freedom: gate and barrier both synchronize through the engine
+// mutex, giving a happens-before chain from one gated core's shared-tier
+// writes through its barrier arrival to the next epoch's quanta. Word-store
+// accesses from concurrent thread-local paths touch disjoint addresses and
+// are memory-safe via the store's per-shard locks (mem.Space.SetShared).
+
+// quantumLive is one core-quantum's contribution to the live-byte ledger:
+// the net byte delta and the running maximum of the in-quantum prefix sums
+// (peaks can only occur at allocation points, and max includes the full
+// prefix, so replaying quanta in (epoch, coreID) order reproduces the
+// serialized peak exactly).
+type quantumLive struct {
+	epoch uint64
+	net   int64
+	max   int64
+}
+
+// gate is the shared-structure admission hook (ThreadCache.Gate): block
+// until every lower-ID core has finished its quantum for the current
+// epoch, then take the shared tier for the rest of this quantum. Core 0
+// never waits; admission order within an epoch is core-ID order.
+func (cs *coreState) gate() {
+	if cs.gated {
+		return
+	}
+	eng := cs.eng
+	eng.mu.Lock()
+	for !eng.clearBelow(cs.id) {
+		eng.cond.Wait()
+	}
+	cs.gated = true
+	// The lock model charges contention against the executing core; while
+	// gated, this core is the only one in the shared tier.
+	eng.active = cs
+	eng.mu.Unlock()
+}
+
+// clearBelow reports whether every core with a lower ID has finished its
+// quantum for the current epoch (or retired). Caller holds the engine
+// mutex.
+func (eng *Engine) clearBelow(id int) bool {
+	for j := 0; j < id; j++ {
+		if !eng.finished[j] && !eng.cores[j].done {
+			return false
+		}
+	}
+	return true
+}
+
+// finishQuantum marks cs's quantum for the current epoch complete (retire
+// additionally removes it from the rotation). The last runnable core to
+// arrive advances the epoch — the only point the epoch counter moves, so
+// progress observations stay a pure function of the logical clocks.
+// Caller holds the engine mutex.
+func (eng *Engine) finishQuantum(cs *coreState, retire bool) {
+	if retire {
+		eng.runnable--
+	} else {
+		eng.finished[cs.id] = true
+	}
+	eng.pending--
+	if eng.pending == 0 && eng.runnable > 0 {
+		eng.epoch++
+		eng.track.Observe(eng.epoch*eng.cfg.EpochCycles, eng.fillSnapshot)
+		for i := range eng.finished {
+			eng.finished[i] = false
+		}
+		eng.pending = eng.runnable
+	}
+	eng.cond.Broadcast()
+}
+
+// checkpointParallel is checkpoint's barrier-mode body: flush the quantum's
+// live-byte record, arrive at the barrier, and wait for the epoch to turn.
+func (cs *coreState) checkpointParallel() {
+	eng := cs.eng
+	for cs.cpu.Cycle() >= cs.epochEnd {
+		cs.res.Yields++
+		cs.flushQuantum()
+		eng.mu.Lock()
+		eng.yields++
+		e := eng.epoch
+		eng.finishQuantum(cs, false)
+		for eng.epoch == e {
+			eng.cond.Wait()
+		}
+		eng.mu.Unlock()
+		cs.beginQuantum()
+		cs.gated = false
+	}
+}
+
+// flushQuantum appends the quantum's live-byte record. The epoch read is
+// stable: the barrier cannot advance while this core's quantum is
+// unfinished.
+func (cs *coreState) flushQuantum() {
+	if cs.qNet == 0 && cs.qMax == 0 {
+		return
+	}
+	cs.quanta = append(cs.quanta, quantumLive{epoch: cs.eng.epoch, net: cs.qNet, max: cs.qMax})
+	cs.qNet, cs.qMax = 0, 0
+}
+
+// runCoreParallel is one core's goroutine body under the barrier
+// scheduler: run the shard (checkpoints arrive at epoch barriers), then
+// retire.
+func (eng *Engine) runCoreParallel(cs *coreState, wg *sync.WaitGroup) {
+	defer wg.Done()
+	cs.beginQuantum()
+	eng.cfg.Workload.Run(cs, cs.budget, stats.NewRNG(eng.cfg.Seed+1+uint64(cs.id)*0x9e37))
+	cs.flushQuantum()
+	eng.mu.Lock()
+	cs.done = true
+	cs.res.DoneEpoch = eng.epoch
+	eng.finishQuantum(cs, true)
+	eng.mu.Unlock()
+}
+
+// runParallel executes every core concurrently and returns the collected
+// result; the observable output is byte-identical to the relay scheduler's.
+func (eng *Engine) runParallel() *Result {
+	eng.heap.Space.SetShared(true)
+	eng.runnable = len(eng.cores)
+	eng.pending = len(eng.cores)
+	if eng.finished == nil {
+		eng.finished = make([]bool, len(eng.cores))
+	}
+	eng.active = eng.cores[0]
+
+	var wg sync.WaitGroup
+	for _, cs := range eng.cores {
+		wg.Add(1)
+		go eng.runCoreParallel(cs, &wg)
+	}
+	wg.Wait()
+	eng.heap.Space.SetShared(false)
+
+	var wall uint64
+	for _, cs := range eng.cores {
+		if c := cs.cpu.Cycle(); c > wall {
+			wall = c
+		}
+	}
+	eng.track.Finish(wall, eng.fillSnapshot)
+	eng.replayPeak()
+	res := eng.collect()
+	if !eng.pooled {
+		eng.recycleEmitters()
+	}
+	return res
+}
+
+// replayPeak merges the per-core quantum live-byte records in
+// (epoch, coreID) order — the serialized execution order — reproducing the
+// exact peak the relay scheduler tracks inline.
+func (eng *Engine) replayPeak() {
+	type rec struct {
+		q  quantumLive
+		id int
+	}
+	var all []rec
+	for _, cs := range eng.cores {
+		for _, q := range cs.quanta {
+			all = append(all, rec{q: q, id: cs.id})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].q.epoch != all[j].q.epoch {
+			return all[i].q.epoch < all[j].q.epoch
+		}
+		return all[i].id < all[j].id
+	})
+	var live, peak int64
+	for _, r := range all {
+		if live+r.q.max > peak {
+			peak = live + r.q.max
+		}
+		live += r.q.net
+	}
+	eng.peakLive = uint64(peak)
+}

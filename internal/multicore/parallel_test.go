@@ -1,0 +1,132 @@
+package multicore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"mallacc/internal/telemetry"
+)
+
+// parallelConfig is a config the barrier-phase scheduler accepts: tcmalloc
+// substrate, remote frees disabled.
+func parallelConfig(t *testing.T, variant Variant, wlName string, cores int) Config {
+	t.Helper()
+	return Config{
+		Cores:          cores,
+		Variant:        variant,
+		Workload:       wl(t, wlName),
+		CallsPerCore:   3000,
+		Seed:           1,
+		RemoteFreeProb: -1,
+	}
+}
+
+// TestParallelSchedulerSelected guards the mode dispatch: remote frees,
+// alternative substrates and the Serialize override all force the relay.
+func TestParallelSchedulerSelected(t *testing.T) {
+	mk := func(mut func(*Config)) bool {
+		cfg := parallelConfig(t, Baseline, "ubench.tp_small", 2)
+		if mut != nil {
+			mut(&cfg)
+		}
+		return New(cfg).parallel
+	}
+	if !mk(nil) {
+		t.Fatal("tcmalloc + no remote frees should select the barrier scheduler")
+	}
+	if mk(func(c *Config) { c.Serialize = true }) {
+		t.Fatal("Serialize must force the relay scheduler")
+	}
+	if mk(func(c *Config) { c.RemoteFreeProb = 0.15 }) {
+		t.Fatal("remote frees must force the relay scheduler")
+	}
+	if mk(func(c *Config) { c.RemoteFreeProb = 0 }) {
+		t.Fatal("default remote frees (0 -> 0.15) must force the relay scheduler")
+	}
+	if mk(func(c *Config) { c.Backend = "lockfree"; c.Variant = Baseline }) {
+		t.Fatal("lockfree substrate must force the relay scheduler")
+	}
+	if mk(func(c *Config) { c.Variant = Offload }) {
+		t.Fatal("offload variant must force the relay scheduler")
+	}
+}
+
+// TestLockstepEquivalence is the frozen-reference check (in the spirit of
+// cpu/reference_test.go): the barrier-phase scheduler must reproduce the
+// serialized relay scheduler's output byte for byte — telemetry snapshot
+// and every Result field.
+func TestLockstepEquivalence(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Mallacc, Limit} {
+		for _, wlName := range []string{"ubench.tp_small", "ubench.gauss_free", "server.requests"} {
+			t.Run(fmt.Sprintf("%s/%s", variant, wlName), func(t *testing.T) {
+				cfg := parallelConfig(t, variant, wlName, 4)
+				cfg.Serialize = true
+				ref := Run(cfg)
+				cfg.Serialize = false
+				par := Run(cfg)
+
+				if a, b := snapshotJSON(t, ref), snapshotJSON(t, par); !bytes.Equal(a, b) {
+					t.Fatalf("telemetry diverges from the serialized reference:\n%s\nvs\n%s", a, b)
+				}
+				// Telemetry covers most counters; compare the rest of the
+				// Result struct field by field for an exact match.
+				refCopy, parCopy := *ref, *par
+				refCopy.Telemetry = telemetry.Snapshot{}
+				parCopy.Telemetry = telemetry.Snapshot{}
+				if !reflect.DeepEqual(refCopy, parCopy) {
+					t.Fatalf("Result diverges from the serialized reference:\n%+v\nvs\n%+v", refCopy, parCopy)
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminismMatrix runs the same seed at several GOMAXPROCS values —
+// serialized host execution, modest parallelism, full parallelism — and
+// asserts byte-identical reports. Run with -race, this is the acceptance
+// gate that goroutine parallelism never leaks into the simulation's
+// observables.
+func TestDeterminismMatrix(t *testing.T) {
+	cfg := parallelConfig(t, Mallacc, "ubench.gauss_free", 8)
+	procs := []int{1, 2, runtime.NumCPU()}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var ref []byte
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		got := snapshotJSON(t, Run(cfg))
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(ref, got) {
+			t.Fatalf("telemetry at GOMAXPROCS=%d differs from GOMAXPROCS=%d:\n%s\nvs\n%s", p, procs[0], ref, got)
+		}
+	}
+}
+
+// TestParallelEarlyDrainNoDeadlock mirrors TestEarlyDrainNoDeadlock for the
+// barrier scheduler: a core retiring in the first epochs must not wedge the
+// barrier for the survivors.
+func TestParallelEarlyDrainNoDeadlock(t *testing.T) {
+	done := make(chan *Result, 1)
+	go func() {
+		cfg := parallelConfig(t, Baseline, "ubench.tp_small", 4)
+		cfg.CallsPerCore = 4000
+		cfg.CoreCalls = []int{60, 4000, 4000, 4000}
+		cfg.Seed = 3
+		done <- Run(cfg)
+	}()
+	select {
+	case r := <-done:
+		if r.PerCore[0].DoneEpoch > r.PerCore[1].DoneEpoch {
+			t.Fatalf("core 0 retired after core 1 despite the tiny budget")
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("barrier scheduler deadlocked after a core drained early")
+	}
+}

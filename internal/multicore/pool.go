@@ -1,0 +1,163 @@
+package multicore
+
+import (
+	"fmt"
+	"sync"
+
+	"mallacc/internal/catalog"
+	"mallacc/internal/workload"
+)
+
+// Engine pooling. Building an engine is far more expensive than running a
+// short shard on it: four cache hierarchies alone are megabytes of Go
+// allocations, and a full 4-core construction plus metric registration is
+// over a thousand. When a caller opts in with Config.Reuse, Run keeps the
+// finished engine keyed by its deterministic configuration and rewinds it
+// for the next identical request instead of rebuilding.
+//
+// Correctness rests on a single invariant: reset must leave every piece of
+// simulated state exactly as construction left it. The heap rewinds its
+// simulated space and metadata arena to the post-construction mark
+// (tcmalloc.MarkClean), which makes the in-run arena allocations — radix
+// nodes, span metadata — replay at identical simulated addresses; RNG
+// streams are reseeded and re-forked in construction order; everything else
+// (cores, caches, predictors, profilers, the lock model) zeroes in place.
+// TestPooledDeterminism asserts the result: a pooled rerun's full telemetry
+// snapshot is byte-identical to a fresh engine's.
+
+// engineKey identifies one deterministic engine configuration. Every field
+// that can change a run's output appears here; observability knobs
+// (Registry, Progress) disqualify a config from pooling instead.
+type engineKey struct {
+	cores          int
+	variant        Variant
+	backend        string
+	mcEntries      int
+	workload       string
+	callsPerCore   int
+	coreCalls      string
+	seed           uint64
+	epochCycles    uint64
+	remoteFreeProb float64
+	serialize      bool
+}
+
+// poolKeyOf reports whether cfg's engine may be pooled and returns its key.
+// Only stock named workloads are keyable (a custom workload's behavior is
+// not derivable from its name), only the tcmalloc substrate resets (the
+// lockfree and offload substrates have no rewind support), and external
+// registries or progress reporters alias state the pool cannot hand over.
+func poolKeyOf(cfg Config) (engineKey, bool) {
+	if !cfg.Reuse || cfg.Registry != nil || cfg.Progress != nil || cfg.Workload == nil {
+		return engineKey{}, false
+	}
+	name := cfg.Workload.Name()
+	if !workload.Known(name) {
+		return engineKey{}, false
+	}
+	if _, isTrace := cfg.Workload.(*workload.Trace); isTrace {
+		return engineKey{}, false
+	}
+	n := cfg.WithDefaults()
+	if n.Variant == Offload || n.Backend != catalog.BackendTCMalloc {
+		return engineKey{}, false
+	}
+	k := engineKey{
+		cores:          n.Cores,
+		variant:        n.Variant,
+		backend:        n.Backend,
+		mcEntries:      n.MCEntries,
+		workload:       name,
+		callsPerCore:   n.CallsPerCore,
+		seed:           n.Seed,
+		epochCycles:    n.EpochCycles,
+		remoteFreeProb: n.RemoteFreeProb,
+		serialize:      n.Serialize,
+	}
+	if len(n.CoreCalls) > 0 {
+		k.coreCalls = fmt.Sprint(n.CoreCalls)
+	}
+	return k, true
+}
+
+// pool holds at most one idle engine per key — enough for the sequential
+// rerun pattern benchmarks and sweeps produce. A second engine finishing
+// under the same key is dropped (its trace slabs recycled).
+type pool struct {
+	mu sync.Mutex
+	m  map[engineKey]*Engine
+}
+
+var enginePool = pool{m: map[engineKey]*Engine{}}
+
+func (p *pool) take(k engineKey) *Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	eng := p.m[k]
+	delete(p.m, k)
+	return eng
+}
+
+func (p *pool) put(k engineKey, eng *Engine) {
+	p.mu.Lock()
+	if _, busy := p.m[k]; busy {
+		p.mu.Unlock()
+		eng.recycleEmitters()
+		return
+	}
+	p.m[k] = eng
+	p.mu.Unlock()
+}
+
+// reset rewinds a finished engine to its post-construction state so Run can
+// execute it again. The caller guarantees the engine came from the pool
+// (pooled engines always have the tcmalloc substrate and a clean mark).
+func (eng *Engine) reset() {
+	cfg := eng.cfg
+	eng.heap.ResetClean()
+	for i, cs := range eng.cores {
+		cs.cpu.Reset()
+		cs.cpu.Memory().Reset()
+		if cs.mc != nil {
+			cs.mc.Reset()
+		}
+		if cs.hw != nil {
+			cs.hw.Reset()
+		}
+		cs.rng.Reseed(cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0x85ebca77 + 0xc2b2)
+		cs.prof.Reset()
+		cs.res = CoreStats{}
+		cs.done = false
+		cs.epochEnd = 0
+		cs.inbox = cs.inbox[:0]
+		cs.inboxPos = 0
+		cs.gated = false
+		if cs.liveSizes != nil {
+			clear(cs.liveSizes)
+		}
+		cs.qNet, cs.qMax = 0, 0
+		cs.quanta = cs.quanta[:0]
+	}
+	if eng.locks != nil {
+		clear(eng.locks.locks)
+		eng.locks.stats = [2]LockSiteStats{}
+	}
+	eng.turn = 0
+	eng.active = nil
+	eng.epoch = 0
+	eng.yields = 0
+	eng.liveBytes = 0
+	eng.peakLive = 0
+	clear(eng.liveSizes)
+	clear(eng.finished)
+	eng.pending, eng.runnable = 0, 0
+	// eng.track is nil here: poolable configs carry no progress reporter,
+	// and NewTracker returns the inert nil tracker for them.
+}
+
+// PoolSize reports how many idle engines the pool holds (tests only).
+func PoolSize() int {
+	enginePool.mu.Lock()
+	defer enginePool.mu.Unlock()
+	return len(enginePool.m)
+}

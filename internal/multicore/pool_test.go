@@ -1,0 +1,129 @@
+package multicore
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mallacc/internal/progress"
+	"mallacc/internal/telemetry"
+)
+
+// nopReporter is a progress.Reporter that discards snapshots.
+type nopReporter struct{}
+
+func (nopReporter) Report(progress.Snapshot) {}
+
+// TestPooledDeterminism is the engine-pool acceptance gate: a rewound,
+// rerun engine must produce output byte-identical to a fresh engine's —
+// telemetry snapshot and every Result field — under both schedulers.
+func TestPooledDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"relay", func(c *Config) { c.RemoteFreeProb = 0.15 }},
+		{"parallel", func(c *Config) { c.RemoteFreeProb = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Cores:        4,
+				Variant:      Mallacc,
+				Workload:     wl(t, "ubench.gauss_free"),
+				CallsPerCore: 3000,
+				Seed:         7,
+			}
+			tc.mut(&cfg)
+
+			fresh := Run(cfg) // Reuse off: plain one-shot engine
+			cfg.Reuse = true
+			first := Run(cfg)  // builds the engine, parks it in the pool
+			second := Run(cfg) // must hit the pool and rerun the same engine
+
+			a, b, c := snapshotJSON(t, fresh), snapshotJSON(t, first), snapshotJSON(t, second)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("Reuse=true first run diverges from fresh run:\n%s\nvs\n%s", a, b)
+			}
+			if !bytes.Equal(a, c) {
+				t.Fatalf("pooled rerun diverges from fresh run:\n%s\nvs\n%s", a, c)
+			}
+			for _, r := range []*Result{first, second} {
+				rc, fc := *r, *fresh
+				rc.Telemetry = telemetry.Snapshot{}
+				fc.Telemetry = telemetry.Snapshot{}
+				if !reflect.DeepEqual(rc, fc) {
+					t.Fatalf("pooled Result diverges from fresh run:\n%+v\nvs\n%+v", rc, fc)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolReusesEngine pins the mechanism, not just the output: the second
+// Reuse run must execute on the same engine object the first one built.
+func TestPoolReusesEngine(t *testing.T) {
+	cfg := Config{
+		Cores:          2,
+		Variant:        Baseline,
+		Workload:       wl(t, "ubench.tp_small"),
+		CallsPerCore:   500,
+		Seed:           11,
+		RemoteFreeProb: -1,
+		Reuse:          true,
+	}
+	key, ok := poolKeyOf(cfg)
+	if !ok {
+		t.Fatal("config should be poolable")
+	}
+	Run(cfg)
+	enginePool.mu.Lock()
+	parked := enginePool.m[key]
+	enginePool.mu.Unlock()
+	if parked == nil {
+		t.Fatal("engine not parked in the pool after a Reuse run")
+	}
+	Run(cfg)
+	enginePool.mu.Lock()
+	again := enginePool.m[key]
+	enginePool.mu.Unlock()
+	if again != parked {
+		t.Fatal("second Reuse run did not rerun the parked engine")
+	}
+}
+
+// TestPoolKeyGates pins the disqualifiers: configs whose engines cannot be
+// rewound (or whose behavior is not derivable from the key) must bypass the
+// pool.
+func TestPoolKeyGates(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Cores:        2,
+			Variant:      Baseline,
+			Workload:     wl(t, "ubench.tp_small"),
+			CallsPerCore: 500,
+			Seed:         1,
+			Reuse:        true,
+		}
+	}
+	if _, ok := poolKeyOf(base()); !ok {
+		t.Fatal("baseline Reuse config should be poolable")
+	}
+	deny := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"reuse off", func(c *Config) { c.Reuse = false }},
+		{"registry", func(c *Config) { c.Registry = telemetry.NewRegistry() }},
+		{"progress", func(c *Config) { c.Progress = nopReporter{} }},
+		{"offload", func(c *Config) { c.Variant = Offload }},
+		{"lockfree", func(c *Config) { c.Backend = "lockfree" }},
+	}
+	for _, d := range deny {
+		cfg := base()
+		d.mut(&cfg)
+		if _, ok := poolKeyOf(cfg); ok {
+			t.Errorf("%s: config should not be poolable", d.name)
+		}
+	}
+}

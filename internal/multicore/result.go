@@ -97,9 +97,22 @@ func (r *Result) MCPopHitRate() float64 {
 	return r.MC.PopHitRate()
 }
 
-// Run builds an engine for cfg and runs it to completion.
+// Run builds (or, with cfg.Reuse, recycles) an engine for cfg and runs it
+// to completion; see pool.go for the reuse machinery.
 func Run(cfg Config) *Result {
-	return New(cfg).Run()
+	key, ok := poolKeyOf(cfg)
+	if !ok {
+		return New(cfg).Run()
+	}
+	eng := enginePool.take(key)
+	if eng == nil {
+		eng = New(cfg)
+	} else {
+		eng.reset()
+	}
+	res := eng.Run()
+	enginePool.put(key, eng)
+	return res
 }
 
 // collect assembles the Result after all shards have finished.
@@ -150,7 +163,7 @@ func (eng *Engine) collect() *Result {
 		res.CentralLock = eng.locks.stats[tcmalloc.LockCentral]
 		res.PageHeapLock = eng.locks.stats[tcmalloc.LockPageHeap]
 		res.OSBytes = eng.heap.Space.SbrkBytes - eng.metaBytes
-		res.Heap = eng.heap.Stats
+		res.Heap = eng.heap.StatsSnapshot()
 		eng.heap.CheckInvariants()
 	case eng.lf != nil:
 		res.OSBytes = eng.lf.Space.SbrkBytes - eng.metaBytes
@@ -159,7 +172,7 @@ func (eng *Engine) collect() *Result {
 		eng.lf.CheckInvariants()
 	case eng.off != nil:
 		res.OSBytes = eng.off.Heap.Space.SbrkBytes - eng.metaBytes
-		res.Heap = eng.off.Heap.Stats
+		res.Heap = eng.off.Heap.StatsSnapshot()
 		offStats := eng.off.Stats
 		res.Offload = &offStats
 		eng.off.Heap.CheckInvariants()
@@ -194,9 +207,9 @@ func (eng *Engine) registerMetrics() {
 	for _, cs := range eng.cores {
 		cs := cs
 		sub := reg.Sub(coreName(cs.id))
-		prof := telemetry.NewStepProfiler(stepNames)
-		prof.Register(sub)
-		cs.cpu.SetStepObserver(prof.ObserveCall)
+		cs.prof = telemetry.NewStepProfiler(stepNames)
+		cs.prof.Register(sub)
+		cs.cpu.SetStepObserver(cs.prof.ObserveCall)
 		cs.cpu.RegisterMetrics(sub)
 		cs.cpu.Memory().RegisterMetrics(sub)
 		if cs.mc != nil {

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -15,18 +16,27 @@ import (
 // Buckets are HDR-style: each power-of-two range is split into subBuckets
 // equal sub-ranges, giving bounded relative error while covering durations
 // from 1 cycle to hundreds of millions.
+//
+// Bucket storage is a pair of fixed dense arrays (the index space is only
+// 64*histSubBuckets wide) rather than maps: Add runs once per simulated
+// call on the step-profiler hot path, and an array increment beats a hash
+// probe by an order of magnitude. The read-side accessors simply skip empty
+// buckets, so observable output is unchanged.
 type DurationHist struct {
-	counts map[int]uint64 // bucket index -> number of calls
-	sums   map[int]uint64 // bucket index -> total cycles of those calls
-	total  uint64         // total cycles across all calls
-	n      uint64         // total number of calls
+	counts [histBuckets]uint64 // bucket index -> number of calls
+	sums   [histBuckets]uint64 // bucket index -> total cycles of those calls
+	total  uint64              // total cycles across all calls
+	n      uint64              // total number of calls
 }
 
-const histSubBuckets = 8
+const (
+	histSubBuckets = 8
+	histBuckets    = 64 * histSubBuckets
+)
 
 // NewDurationHist returns an empty histogram.
 func NewDurationHist() *DurationHist {
-	return &DurationHist{counts: map[int]uint64{}, sums: map[int]uint64{}}
+	return &DurationHist{}
 }
 
 // bucketIndex maps a duration to its bucket.
@@ -34,19 +44,10 @@ func bucketIndex(d uint64) int {
 	if d < histSubBuckets {
 		return int(d)
 	}
-	exp := 63 - leadingZeros(d)
+	exp := 63 - bits.LeadingZeros64(d)
 	// Sub-bucket within the power-of-two range [2^exp, 2^(exp+1)).
 	sub := int((d >> (uint(exp) - 3)) & (histSubBuckets - 1))
 	return exp*histSubBuckets + sub
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // bucketBounds returns the [lo, hi) duration range of a bucket index.
@@ -70,6 +71,13 @@ func (h *DurationHist) Add(d uint64) {
 	h.n++
 }
 
+// Reset empties the histogram.
+func (h *DurationHist) Reset() {
+	clear(h.counts[:])
+	clear(h.sums[:])
+	h.total, h.n = 0, 0
+}
+
 // N returns the number of recorded calls.
 func (h *DurationHist) N() uint64 { return h.n }
 
@@ -86,8 +94,8 @@ func (h *DurationHist) MeanCycles() float64 {
 
 // Merge adds the contents of o into h.
 func (h *DurationHist) Merge(o *DurationHist) {
-	for i, c := range o.counts {
-		h.counts[i] += c
+	for i := range o.counts {
+		h.counts[i] += o.counts[i]
 		h.sums[i] += o.sums[i]
 	}
 	h.total += o.total
@@ -106,13 +114,17 @@ type Bucket struct {
 // Buckets returns the non-empty buckets in increasing duration order with
 // time and call percentages filled in.
 func (h *DurationHist) Buckets() []Bucket {
-	idxs := make([]int, 0, len(h.counts))
+	nz := 0
 	for i := range h.counts {
-		idxs = append(idxs, i)
+		if h.counts[i] != 0 {
+			nz++
+		}
 	}
-	sort.Ints(idxs)
-	out := make([]Bucket, 0, len(idxs))
-	for _, i := range idxs {
+	out := make([]Bucket, 0, nz)
+	for i := range h.counts {
+		if h.counts[i] == 0 {
+			continue
+		}
 		lo, hi := bucketBounds(i)
 		b := Bucket{Lo: lo, Hi: hi, Count: h.counts[i], Cycles: h.sums[i]}
 		if h.total > 0 {
@@ -136,10 +148,8 @@ func (h *DurationHist) TimeCDFBelow(d uint64) float64 {
 	}
 	limit := bucketIndex(d)
 	var acc uint64
-	for i, s := range h.sums {
-		if i < limit {
-			acc += s
-		}
+	for i := 0; i < limit && i < histBuckets; i++ {
+		acc += h.sums[i]
 	}
 	return 100 * float64(acc) / float64(h.total)
 }
@@ -151,10 +161,8 @@ func (h *DurationHist) CallCDFBelow(d uint64) float64 {
 	}
 	limit := bucketIndex(d)
 	var acc uint64
-	for i, c := range h.counts {
-		if i < limit {
-			acc += c
-		}
+	for i := 0; i < limit && i < histBuckets; i++ {
+		acc += h.counts[i]
 	}
 	return 100 * float64(acc) / float64(h.n)
 }
@@ -170,26 +178,22 @@ func (h *DurationHist) PercentileCycles(p float64) float64 {
 		return 0
 	}
 	target := p / 100 * float64(h.n)
-	idxs := make([]int, 0, len(h.counts))
-	for i := range h.counts {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
 	var acc float64
-	for _, i := range idxs {
+	last := 0
+	for i := range h.counts {
+		if h.counts[i] == 0 {
+			continue
+		}
+		last = i
 		c := float64(h.counts[i])
 		if acc+c >= target {
 			lo, hi := bucketBounds(i)
-			frac := 0.5
-			if c > 0 {
-				frac = (target - acc) / c
-			}
+			frac := (target - acc) / c
 			return float64(lo) + frac*float64(hi-lo)
 		}
 		acc += c
 	}
-	lo, hi := bucketBounds(idxs[len(idxs)-1])
-	_ = lo
+	_, hi := bucketBounds(last)
 	return float64(hi)
 }
 
@@ -222,7 +226,11 @@ func (h *DurationHist) coalesceLog() []Bucket {
 		count, cycles uint64
 	}
 	byExp := map[int]agg{}
-	for i, c := range h.counts {
+	for i := range h.counts {
+		c := h.counts[i]
+		if c == 0 {
+			continue
+		}
 		lo, _ := bucketBounds(i)
 		exp := 0
 		for v := lo; v > 1; v >>= 1 {

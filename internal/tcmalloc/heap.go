@@ -114,6 +114,13 @@ type Heap struct {
 	rng     *stats.RNG
 	threads []*ThreadCache
 	Stats   HeapStats
+
+	// Pooled-rewind marks (MarkClean/ResetClean): the simulated space and
+	// metadata arena as of the moment the owning engine finished
+	// construction.
+	spaceMark mem.SpaceMark
+	arenaMark mem.ArenaMark
+	marked    bool
 }
 
 // New builds a heap over a fresh simulated address space.
@@ -154,6 +161,89 @@ func (h *Heap) NewThread() *ThreadCache {
 // Threads returns the registered thread caches.
 func (h *Heap) Threads() []*ThreadCache { return h.threads }
 
+// MarkClean snapshots the heap's post-construction state (simulated words,
+// sbrk pointer, arena bump pointer) so ResetClean can rewind to it. Call it
+// once, after every NewThread, before the first allocation.
+func (h *Heap) MarkClean() {
+	h.spaceMark = h.Space.Mark()
+	h.arenaMark = h.Arena.Mark()
+	h.marked = true
+}
+
+// ResetClean rewinds the heap to the MarkClean state so a pooled simulation
+// can rerun on it. Every tier is restored to its just-built condition, and
+// the sampler RNG streams are reseeded and re-forked in thread order —
+// exactly the construction sequence — so a rerun with the same seed is
+// byte-identical to a run on a fresh heap.
+func (h *Heap) ResetClean() {
+	if !h.marked {
+		panic("tcmalloc: ResetClean without MarkClean")
+	}
+	h.Space.Reset(h.spaceMark)
+	h.Arena.Reset(h.arenaMark)
+	h.PageHeap.Reset()
+	for _, c := range h.Central {
+		if c != nil {
+			c.Reset()
+		}
+	}
+	h.rng.Reseed(h.Cfg.Seed ^ 0xa11c)
+	for _, tc := range h.threads {
+		tc.Reset(h.rng.Fork())
+	}
+	if h.MC != nil {
+		h.MC.Reset()
+	}
+	if h.HWCounter != nil {
+		h.HWCounter.Reset()
+	}
+	h.Stats = HeapStats{}
+}
+
+// mcFor resolves the malloc cache a call from tc should use: the thread's
+// core-local cache when installed (multicore engine), else the heap's.
+func (h *Heap) mcFor(tc *ThreadCache) *core.MallocCache {
+	if tc != nil && tc.MC != nil {
+		return tc.MC
+	}
+	return h.MC
+}
+
+// hwFor resolves the sampling PMU counter like mcFor.
+func (h *Heap) hwFor(tc *ThreadCache) *core.SampleCounter {
+	if tc != nil && tc.HW != nil {
+		return tc.HW
+	}
+	return h.HWCounter
+}
+
+// emFor resolves the trace emitter a call from tc writes to: the thread's
+// core-local emitter when installed, else the heap's shared one.
+func (h *Heap) emFor(tc *ThreadCache) *uop.Emitter {
+	if tc != nil && tc.Em != nil {
+		return tc.Em
+	}
+	return h.Em
+}
+
+// StatsSnapshot returns the heap-level event counts summed with every
+// thread cache's shard. Hot paths bump the calling thread's shard so
+// concurrent cores never write one cache line; readers (metrics closures,
+// results, tests) see the merged view here.
+func (h *Heap) StatsSnapshot() HeapStats {
+	s := h.Stats
+	for _, tc := range h.threads {
+		s.Mallocs += tc.Stats.Mallocs
+		s.Frees += tc.Stats.Frees
+		s.FastHits += tc.Stats.FastHits
+		s.CentralFetches += tc.Stats.CentralFetches
+		s.LargeMallocs += tc.Stats.LargeMallocs
+		s.LargeFrees += tc.Stats.LargeFrees
+		s.Sampled += tc.Stats.Sampled
+	}
+	return s
+}
+
 // FlushMallocCache invalidates the accelerator state (context switch).
 func (h *Heap) FlushMallocCache() {
 	if h.MC != nil {
@@ -169,13 +259,13 @@ func (h *Heap) FlushMallocCache() {
 // Aggregation closures read live state, so threads registered after this
 // call are still counted.
 func (h *Heap) RegisterMetrics(reg *telemetry.Registry) {
-	reg.Counter("heap.mallocs", func() uint64 { return h.Stats.Mallocs })
-	reg.Counter("heap.frees", func() uint64 { return h.Stats.Frees })
-	reg.Counter("heap.fast_hits", func() uint64 { return h.Stats.FastHits })
-	reg.Counter("heap.central_fetches", func() uint64 { return h.Stats.CentralFetches })
-	reg.Counter("heap.large_mallocs", func() uint64 { return h.Stats.LargeMallocs })
-	reg.Counter("heap.large_frees", func() uint64 { return h.Stats.LargeFrees })
-	reg.Counter("heap.sampled", func() uint64 { return h.Stats.Sampled })
+	reg.Counter("heap.mallocs", func() uint64 { return h.StatsSnapshot().Mallocs })
+	reg.Counter("heap.frees", func() uint64 { return h.StatsSnapshot().Frees })
+	reg.Counter("heap.fast_hits", func() uint64 { return h.StatsSnapshot().FastHits })
+	reg.Counter("heap.central_fetches", func() uint64 { return h.StatsSnapshot().CentralFetches })
+	reg.Counter("heap.large_mallocs", func() uint64 { return h.StatsSnapshot().LargeMallocs })
+	reg.Counter("heap.large_frees", func() uint64 { return h.StatsSnapshot().LargeFrees })
+	reg.Counter("heap.sampled", func() uint64 { return h.StatsSnapshot().Sampled })
 
 	ph := h.PageHeap
 	reg.Counter("pageheap.spans.allocated", func() uint64 { return ph.SpansAllocated })
@@ -250,8 +340,8 @@ func (h *Heap) RegisterMetrics(reg *telemetry.Registry) {
 // context switch, and Sec. 4.1's flush rule applies. Violations are
 // detected and panic ("malloc cache out of sync").
 func (h *Heap) Malloc(tc *ThreadCache, size uint64) uint64 {
-	e := h.Em
-	h.Stats.Mallocs++
+	e := h.emFor(tc)
+	tc.Stats.Mallocs++
 	if size == 0 {
 		size = 1
 	}
@@ -272,30 +362,30 @@ func (h *Heap) Malloc(tc *ThreadCache, size uint64) uint64 {
 	cmp := e.ALU(uop.NoDep, uop.NoDep)
 	if size > MaxSize {
 		e.Branch(siteIsSmall, true, cmp)
-		addr := h.mallocLarge(size)
-		h.emitEpilogue(tc)
+		addr := h.mallocLarge(e, tc, size)
+		h.emitEpilogue(e, tc)
 		return addr
 	}
 	e.Branch(siteIsSmall, false, cmp)
 
 	// Step 1: size class (Fig. 3 / Fig. 5 / Fig. 10).
-	class, rounded, classDep, _ := h.sizeClassStep(size)
+	class, rounded, classDep, _ := h.sizeClassStep(e, tc, size)
 
 	// Step 2: sampling (Fig. 3 / Sec. 4.2).
-	h.samplingStep(tc, size)
+	h.samplingStep(e, tc, size)
 
 	// Step 3: pop the free-list head (Fig. 7 / Fig. 12). The list address
 	// needs only the size class, not the rounded size, so it depends on
 	// the class lookup alone.
 	la := e.ALU(classDep, tls) // address of the class's free list
-	result := h.popStep(tc, class, rounded, classDep, la)
+	result := h.popStep(e, tc, class, rounded, classDep, la)
 
 	// Metadata updates and epilogue (part of the non-accelerated ~50%).
 	// The metadata address derives from the class register directly, in
 	// parallel with the list walk.
 	e.Step(uop.StepOther)
 	tc.metaUpdateEmit(e, class, classDep)
-	h.emitEpilogue(tc)
+	h.emitEpilogue(e, tc)
 	return result
 }
 
@@ -303,17 +393,17 @@ func (h *Heap) Malloc(tc *ThreadCache, size uint64) uint64 {
 // baseline table walk or the mcszlookup/mcszupdate pair. classDep is the
 // op producing the size class (used for free-list addressing), sizeDep the
 // op producing the rounded size (used only for byte accounting).
-func (h *Heap) sizeClassStep(size uint64) (class uint8, rounded uint64, classDep, sizeDep uop.Val) {
-	e := h.Em
+func (h *Heap) sizeClassStep(e *uop.Emitter, tc *ThreadCache, size uint64) (class uint8, rounded uint64, classDep, sizeDep uop.Val) {
 	e.Step(uop.StepSizeClass)
 	class, rounded, _ = h.SizeMap.ClassFor(size)
-	if h.MC == nil {
-		classDep, sizeDep = h.emitSWSizeClass(size, class)
+	mc := h.mcFor(tc)
+	if mc == nil {
+		classDep, sizeDep = h.emitSWSizeClass(e, size, class)
 		return class, rounded, classDep, sizeDep
 	}
 	key, hiKey := size, rounded
 	var lat uint8
-	if h.MC.Config().IndexMode {
+	if mc.Config().IndexMode {
 		key = ClassIndex(size)
 		hiKey = ClassIndex(rounded)
 		lat = 2 // dedicated index hardware adds one cycle (Sec. 4.1)
@@ -322,12 +412,12 @@ func (h *Heap) sizeClassStep(size uint64) (class uint8, rounded uint64, classDep
 		// Size-cache ablation: always compute in software, but keep the
 		// entries maintained so the list cache still has somewhere to
 		// live.
-		clsDep, swDep := h.emitSWSizeClass(size, class)
-		entry := h.MC.SzUpdate(key, hiKey, rounded, class)
+		clsDep, swDep := h.emitSWSizeClass(e, size, class)
+		entry := mc.SzUpdate(key, hiKey, rounded, class)
 		e.Mallacc(uop.McSzUpdate, entry, false, 0, swDep, 0)
 		return class, rounded, clsDep, swDep
 	}
-	entry, cls, alloc, ok := h.MC.SzLookup(key)
+	entry, cls, alloc, ok := mc.SzLookup(key)
 	szDep := e.Mallacc(uop.McSzLookup, entry, ok, 0, uop.NoDep, lat)
 	e.Branch(siteMcSzHit, !ok, szDep) // fall back on miss
 	if ok {
@@ -337,8 +427,8 @@ func (h *Heap) sizeClassStep(size uint64) (class uint8, rounded uint64, classDep
 		}
 		return class, rounded, szDep, szDep
 	}
-	clsDep, swDep := h.emitSWSizeClass(size, class)
-	entry = h.MC.SzUpdate(key, hiKey, rounded, class)
+	clsDep, swDep := h.emitSWSizeClass(e, size, class)
+	entry = mc.SzUpdate(key, hiKey, rounded, class)
 	e.Mallacc(uop.McSzUpdate, entry, false, 0, swDep, 0)
 	return class, rounded, clsDep, swDep
 }
@@ -346,8 +436,7 @@ func (h *Heap) sizeClassStep(size uint64) (class uint8, rounded uint64, classDep
 // emitSWSizeClass emits the Figure 5 software sequence: compare+branch on
 // the small threshold, add+shift to form the index, then the two dependent
 // table loads. It returns the class-producing and size-producing loads.
-func (h *Heap) emitSWSizeClass(size uint64, class uint8) (classDep, sizeDep uop.Val) {
-	e := h.Em
+func (h *Heap) emitSWSizeClass(e *uop.Emitter, size uint64, class uint8) (classDep, sizeDep uop.Val) {
 	cmp := e.ALU(uop.NoDep, uop.NoDep)
 	e.Branch(siteSizeBranch, size > MaxSmallSize, cmp)
 	idx := e.ALU(uop.NoDep, uop.NoDep) // add
@@ -361,8 +450,7 @@ func (h *Heap) emitSWSizeClass(size uint64, class uint8) (classDep, sizeDep uop.
 // only the class, not the rounded size, so it is one table load. Figure 12
 // shows free is not accelerated here — the class arrives in a register —
 // so both modes emit the same software sequence.
-func (h *Heap) emitFreeSizeClass(size uint64, class uint8) uop.Val {
-	e := h.Em
+func (h *Heap) emitFreeSizeClass(e *uop.Emitter, size uint64, class uint8) uop.Val {
 	cmp := e.ALU(uop.NoDep, uop.NoDep)
 	e.Branch(siteSizeBranch, size > MaxSmallSize, cmp)
 	idx := e.ALU(uop.NoDep, uop.NoDep)
@@ -373,23 +461,22 @@ func (h *Heap) emitFreeSizeClass(size uint64, class uint8) uop.Val {
 // samplingStep performs the per-allocation sampling work: the software
 // counter sequence in baseline, the PMU counter (no fast-path work) with
 // Mallacc. A triggered sample pays the capture cost in both modes.
-func (h *Heap) samplingStep(tc *ThreadCache, size uint64) {
+func (h *Heap) samplingStep(e *uop.Emitter, tc *ThreadCache, size uint64) {
 	if h.Cfg.SampleInterval <= 0 {
 		return
 	}
-	e := h.Em
 	// Which allocations get sampled is a property of the sampler's
 	// exponential draw stream, identical in every configuration; the
 	// accelerator only changes *how* the countdown is maintained: a PMU
 	// counter off the fast path instead of the per-call load/decrement/
 	// compare/store sequence.
 	sampled := tc.sampler.Account(size)
-	if h.HWCounter != nil && !h.Cfg.Ablate.NoHWSampler {
+	if hw := h.hwFor(tc); hw != nil && !h.Cfg.Ablate.NoHWSampler {
 		// The PMU counter mirrors the sampler's countdown exactly; only
 		// its statistics are tracked here — no fast-path micro-ops.
-		h.HWCounter.BytesAccumulated += size
+		hw.BytesAccumulated += size
 		if sampled {
-			h.HWCounter.Interrupts++
+			hw.Interrupts++
 		}
 	} else {
 		e.Step(uop.StepSampling)
@@ -399,15 +486,14 @@ func (h *Heap) samplingStep(tc *ThreadCache, size uint64) {
 		e.Branch(siteSampleCheck, sampled, a)
 	}
 	if sampled {
-		h.Stats.Sampled++
-		h.emitSampledAllocation(tc)
+		tc.Stats.Sampled++
+		h.emitSampledAllocation(e, tc)
 	}
 }
 
 // emitSampledAllocation charges the stack-trace capture of a sampled
 // allocation: a serial unwind through the stack plus bookkeeping.
-func (h *Heap) emitSampledAllocation(tc *ThreadCache) {
-	e := h.Em
+func (h *Heap) emitSampledAllocation(e *uop.Emitter, tc *ThreadCache) {
 	prev := e.Step(uop.StepOther)
 	dep := uop.NoDep
 	for i := 0; i < 32; i++ {
@@ -422,21 +508,20 @@ func (h *Heap) emitSampledAllocation(tc *ThreadCache) {
 
 // popStep removes and returns the head of class's free list via the mode's
 // fast path, falling back to the central caches when empty.
-func (h *Heap) popStep(tc *ThreadCache, class uint8, rounded uint64, classDep, la uop.Val) uint64 {
-	e := h.Em
+func (h *Heap) popStep(e *uop.Emitter, tc *ThreadCache, class uint8, rounded uint64, classDep, la uop.Val) uint64 {
 	e.Step(uop.StepPushPop)
 	l := &tc.lists[class]
 	var result uint64
 	var popDep uop.Val
 
-	if h.MC != nil && !h.Cfg.Ablate.NoListCache {
+	if mc := h.mcFor(tc); mc != nil && !h.Cfg.Ablate.NoListCache {
 		// mchdpop takes only the size class (Fig. 12); the list address is
 		// needed just for the head-update store, off the critical path.
-		entry, hd, nx, ok := h.MC.HdPop(class)
+		entry, hd, nx, ok := mc.HdPop(class)
 		popDep = e.Mallacc(uop.McHdPop, entry, ok, 0, classDep, 0)
 		e.Branch(siteMcPopHit, !ok, popDep)
 		switch {
-		case ok && h.MC.Config().NoNextSlot:
+		case ok && mc.Config().NoNextSlot:
 			// Head-only ablation: the cached head avoids the head-pointer
 			// load, but software must still execute the dependent *head
 			// load to find the next element — the latency the full design
@@ -453,7 +538,7 @@ func (h *Heap) popStep(tc *ThreadCache, class uint8, rounded uint64, classDep, l
 			l.length--
 			tc.size -= rounded
 			tc.Hits++
-			h.Stats.FastHits++
+			tc.Stats.FastHits++
 			result = hd
 		case ok:
 			// Validate the model's core invariant: cached copies always
@@ -470,16 +555,16 @@ func (h *Heap) popStep(tc *ThreadCache, class uint8, rounded uint64, classDep, l
 			l.length--
 			tc.size -= rounded
 			tc.Hits++
-			h.Stats.FastHits++
+			tc.Stats.FastHits++
 			result = hd
 		default:
-			result = h.popFallback(tc, class, la)
+			result = h.popFallback(e, tc, class, la)
 		}
 		// mcnxtprefetch on the way out (Fig. 12 malloc_ret): refill the
 		// cached pair from the new real head.
 		if newHead := h.Space.ReadWord(l.headAddr); newHead != 0 {
 			v := h.Space.ReadWord(newHead)
-			en := h.MC.NxtPrefetch(class, newHead, v)
+			en := mc.NxtPrefetch(class, newHead, v)
 			e.Mallacc(uop.McNxtPrefetch, en, en >= 0, newHead, popDep, 0)
 		}
 		return result
@@ -489,7 +574,7 @@ func (h *Heap) popStep(tc *ThreadCache, class uint8, rounded uint64, classDep, l
 	hDep := e.Load(l.headAddr, la)
 	if l.length == 0 {
 		e.Branch(siteListEmpty, true, hDep)
-		return h.centralFetch(tc, class)
+		return h.centralFetch(e, tc, class)
 	}
 	e.Branch(siteListEmpty, false, hDep)
 	head := h.Space.ReadWord(l.headAddr)
@@ -500,20 +585,19 @@ func (h *Heap) popStep(tc *ThreadCache, class uint8, rounded uint64, classDep, l
 	l.length--
 	tc.size -= rounded
 	tc.Hits++
-	h.Stats.FastHits++
+	tc.Stats.FastHits++
 	return head
 }
 
 // popFallback is the Mallacc miss path: the original software pop
 // (cache_fallback in Fig. 12), or a central-cache refill if the real list
 // is empty too.
-func (h *Heap) popFallback(tc *ThreadCache, class uint8, la uop.Val) uint64 {
-	e := h.Em
+func (h *Heap) popFallback(e *uop.Emitter, tc *ThreadCache, class uint8, la uop.Val) uint64 {
 	l := &tc.lists[class]
 	hDep := e.Load(l.headAddr, la)
 	if l.length == 0 {
 		e.Branch(siteListEmpty, true, hDep)
-		return h.centralFetch(tc, class)
+		return h.centralFetch(e, tc, class)
 	}
 	e.Branch(siteListEmpty, false, hDep)
 	head := h.Space.ReadWord(l.headAddr)
@@ -524,16 +608,16 @@ func (h *Heap) popFallback(tc *ThreadCache, class uint8, la uop.Val) uint64 {
 	l.length--
 	tc.size -= h.SizeMap.ClassSize(class)
 	tc.Hits++
-	h.Stats.FastHits++
+	tc.Stats.FastHits++
 	return head
 }
 
 // centralFetch refills from the central list; everything below the thread
 // cache is tagged StepOther so the limit study only removes fast-path work.
-func (h *Heap) centralFetch(tc *ThreadCache, class uint8) uint64 {
-	e := h.Em
+func (h *Heap) centralFetch(e *uop.Emitter, tc *ThreadCache, class uint8) uint64 {
+	tc.gate()
 	prev := e.Step(uop.StepOther)
-	h.Stats.CentralFetches++
+	tc.Stats.CentralFetches++
 	result := tc.fetchFromCentral(e, class)
 	e.Step(prev)
 	return result
@@ -541,10 +625,10 @@ func (h *Heap) centralFetch(tc *ThreadCache, class uint8) uint64 {
 
 // mallocLarge allocates size bytes directly as a span ("Large requests
 // (> 256KB) go directly to spans and bypass the prior caches", Sec. 3.1).
-func (h *Heap) mallocLarge(size uint64) uint64 {
-	e := h.Em
+func (h *Heap) mallocLarge(e *uop.Emitter, tc *ThreadCache, size uint64) uint64 {
+	tc.gate()
 	prev := e.Step(uop.StepOther)
-	h.Stats.LargeMallocs++
+	tc.Stats.LargeMallocs++
 	pages := mem.RoundUp(size, mem.PageSize) >> mem.PageShift
 	s := h.PageHeap.New(e, pages)
 	e.Step(prev)
@@ -555,8 +639,8 @@ func (h *Heap) mallocLarge(size uint64) uint64 {
 // the allocation's requested size; 0 means unknown, forcing the page-map
 // walk).
 func (h *Heap) Free(tc *ThreadCache, ptr uint64, size uint64) {
-	e := h.Em
-	h.Stats.Frees++
+	e := h.emFor(tc)
+	tc.Stats.Frees++
 
 	// Prologue.
 	e.Step(uop.StepCallOverhead)
@@ -573,10 +657,13 @@ func (h *Heap) Free(tc *ThreadCache, ptr uint64, size uint64) {
 		// accelerator contributes only mchdpush on this side).
 		e.Step(uop.StepSizeClass)
 		class, _, _ = h.SizeMap.ClassFor(size)
-		classDep = h.emitFreeSizeClass(size, class)
+		classDep = h.emitFreeSizeClass(e, size, class)
 		e.Branch(siteFreeSmall, false, classDep)
 	} else {
 		// Page-map walk: the poorly-caching address->size-class lookup.
+		// The page map is shared (central refills install leaves), so the
+		// walk needs shared-structure admission in the parallel scheduler.
+		tc.gate()
 		span, walkDep := h.PageHeap.PageMap().EmitGet(e, ptr>>mem.PageShift, tls)
 		if span == nil {
 			panic(fmt.Sprintf("tcmalloc: free of unknown pointer %#x", ptr))
@@ -586,11 +673,11 @@ func (h *Heap) Free(tc *ThreadCache, ptr uint64, size uint64) {
 		if class == 0 {
 			// Large allocation: give the pages back.
 			e.Branch(siteFreeSmall, true, classDep)
-			h.Stats.LargeFrees++
+			tc.Stats.LargeFrees++
 			prev := e.Step(uop.StepOther)
 			h.PageHeap.Delete(e, span)
 			e.Step(prev)
-			h.emitEpilogue(tc)
+			h.emitEpilogue(e, tc)
 			return
 		}
 		e.Branch(siteFreeSmall, false, classDep)
@@ -602,8 +689,8 @@ func (h *Heap) Free(tc *ThreadCache, ptr uint64, size uint64) {
 	e.Step(uop.StepPushPop)
 	la := e.ALU(classDep, tls)
 	hDep := tc.pushEmit(e, class, ptr, la)
-	if h.MC != nil && !h.Cfg.Ablate.NoListCache {
-		en := h.MC.HdPush(class, ptr)
+	if mc := h.mcFor(tc); mc != nil && !h.Cfg.Ablate.NoListCache {
+		en := mc.HdPush(class, ptr)
 		e.Mallacc(uop.McHdPush, en, en >= 0, 0, hDep, 0)
 	}
 
@@ -614,6 +701,7 @@ func (h *Heap) Free(tc *ThreadCache, ptr uint64, size uint64) {
 	mDep := e.Load(tc.listMetaAddr(class), la)
 	if l.length > l.maxLen {
 		e.Branch(siteListTooLong, true, mDep)
+		tc.gate()
 		prev := e.Step(uop.StepOther)
 		tc.listTooLong(e, class)
 		e.Step(prev)
@@ -622,18 +710,18 @@ func (h *Heap) Free(tc *ThreadCache, ptr uint64, size uint64) {
 	}
 	if tc.size > maxThreadCacheSize {
 		e.Branch(siteCacheTooBig, true, mDep)
+		tc.gate()
 		prev := e.Step(uop.StepOther)
 		tc.scavenge(e)
 		e.Step(prev)
 	} else {
 		e.Branch(siteCacheTooBig, false, mDep)
 	}
-	h.emitEpilogue(tc)
+	h.emitEpilogue(e, tc)
 }
 
 // emitEpilogue handles the return value, restores registers and returns.
-func (h *Heap) emitEpilogue(tc *ThreadCache) {
-	e := h.Em
+func (h *Heap) emitEpilogue(e *uop.Emitter, tc *ThreadCache) {
 	// Return-value move.
 	e.ALU(uop.NoDep, uop.NoDep)
 	e.Step(uop.StepCallOverhead)

@@ -109,13 +109,13 @@ func TestLargeAllocations(t *testing.T) {
 	if a == 0 || b == 0 || a == b {
 		t.Fatalf("large allocations failed: %#x %#x", a, b)
 	}
-	if d.h.Stats.LargeMallocs != 2 {
-		t.Fatalf("expected 2 large mallocs, got %d", d.h.Stats.LargeMallocs)
+	if d.h.StatsSnapshot().LargeMallocs != 2 {
+		t.Fatalf("expected 2 large mallocs, got %d", d.h.StatsSnapshot().LargeMallocs)
 	}
 	d.free(a, 300<<10)
 	d.free(b, 1<<20)
-	if d.h.Stats.LargeFrees != 2 {
-		t.Fatalf("expected 2 large frees, got %d", d.h.Stats.LargeFrees)
+	if d.h.StatsSnapshot().LargeFrees != 2 {
+		t.Fatalf("expected 2 large frees, got %d", d.h.StatsSnapshot().LargeFrees)
 	}
 	d.h.CheckInvariants()
 }
@@ -292,7 +292,7 @@ func TestSampling(t *testing.T) {
 		a, _ := d.malloc(128)
 		d.free(a, 128)
 	}
-	if d.h.Stats.Sampled == 0 {
+	if d.h.StatsSnapshot().Sampled == 0 {
 		t.Fatal("no sampled allocations with a 4 KiB interval over 512 KiB allocated")
 	}
 }

@@ -11,7 +11,7 @@ import (
 // warms (or pollutes) the data cache exactly like the real thing.
 func (h *Heap) Calloc(tc *ThreadCache, size uint64) uint64 {
 	addr := h.Malloc(tc, size)
-	e := h.Em
+	e := h.emFor(tc)
 	prev := e.Step(uop.StepOther)
 	rounded := size
 	if c, r, ok := h.SizeMap.ClassFor(size); ok && c > 0 {
@@ -33,7 +33,7 @@ func (h *Heap) Calloc(tc *ThreadCache, size uint64) uint64 {
 // than half), and otherwise allocates, copies, and frees.
 // oldSize is the sized-delete hint for the old block (0 = unknown).
 func (h *Heap) Realloc(tc *ThreadCache, ptr uint64, oldSize, newSize uint64) uint64 {
-	e := h.Em
+	e := h.emFor(tc)
 	if ptr == 0 {
 		return h.Malloc(tc, newSize)
 	}
@@ -53,8 +53,8 @@ func (h *Heap) Realloc(tc *ThreadCache, ptr uint64, oldSize, newSize uint64) uin
 		e.Store(tc.stackAddr, uop.NoDep, uop.NoDep)
 		e.ALU(uop.NoDep, uop.NoDep)
 		e.Step(uop.StepSizeClass)
-		h.emitFreeSizeClass(newSize, newClass)
-		h.emitEpilogue(tc)
+		h.emitFreeSizeClass(e, newSize, newClass)
+		h.emitEpilogue(e, tc)
 		return ptr
 	}
 

@@ -118,23 +118,27 @@ type Val int32
 // NoDep marks an absent dependency.
 const NoDep Val = -1
 
-// UOp is one micro-operation of a call trace.
+// UOp is one micro-operation of a call trace. Fields are ordered widest
+// first so the struct packs into 32 bytes instead of the 40 a declaration-
+// order layout costs: every op is copied through Emitter.push and re-read by
+// the timing model's scheduling loop, so op size is directly hot-path memory
+// traffic.
 type UOp struct {
-	Kind Kind
-	Step Step
 	// Addr is the simulated byte address for memory ops.
 	Addr uint64
-	// Site is a stable branch-site identifier; the branch predictor is
-	// indexed by it (a stand-in for the static PC).
-	Site uint32
-	// Taken is the actual branch outcome.
-	Taken bool
 	// Dep1, Dep2 are register-dataflow dependencies (indices into the
 	// trace), or NoDep.
 	Dep1, Dep2 Val
+	// Site is a stable branch-site identifier; the branch predictor is
+	// indexed by it (a stand-in for the static PC).
+	Site uint32
 	// MCEntry is the malloc-cache entry this Mallacc op touched, or -1.
 	// Entry blocking on outstanding prefetch is enforced per entry.
 	MCEntry int16
+	Kind    Kind
+	Step    Step
+	// Taken is the actual branch outcome.
+	Taken bool
 	// MCHit records whether a Mallacc lookup/pop hit (determined
 	// functionally); a miss clears ZF and software falls back.
 	MCHit bool

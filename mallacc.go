@@ -439,7 +439,7 @@ func (s *System) HeapStats() tcmalloc.HeapStats {
 	if s.heap == nil {
 		return tcmalloc.HeapStats{}
 	}
-	return s.heap.Stats
+	return s.heap.StatsSnapshot()
 }
 
 // JemallocStats returns allocator event counts for the jemalloc substrate.
@@ -523,8 +523,14 @@ type ClusterConfig struct {
 	// Seed drives all randomness; same seed + same Cores is byte-identical.
 	Seed uint64
 	// RemoteFreeProb is the fraction of frees executed on a peer core
-	// (default 0.15; negative disables cross-core traffic).
+	// (default 0.15; negative disables cross-core traffic, which also
+	// lets the engine run the simulated cores truly concurrently — see
+	// DESIGN.md §18).
 	RemoteFreeProb float64
+	// Reuse opts in to engine pooling: a finished engine is rewound and
+	// reused by the next Run with an identical config, cutting the
+	// per-run construction cost without changing a byte of output.
+	Reuse bool
 }
 
 // ClusterResult is the multi-core measurement set: per-core breakdowns,
@@ -535,14 +541,14 @@ type ClusterResult = multicore.Result
 // CoreStats is one core's share of a ClusterResult.
 type CoreStats = multicore.CoreStats
 
-// Cluster is a configured multi-core simulation, ready to run once.
+// Cluster is a configured multi-core simulation.
 type Cluster struct {
-	eng *multicore.Engine
+	cfg multicore.Config
 }
 
 // NewCluster builds a multi-core simulation from cfg.
 func NewCluster(cfg ClusterConfig) *Cluster {
-	return &Cluster{eng: multicore.New(multicore.Config{
+	return &Cluster{cfg: multicore.Config{
 		Cores:          cfg.Cores,
 		Variant:        clusterVariant(cfg.Variant),
 		Backend:        cfg.Backend,
@@ -551,12 +557,15 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		CallsPerCore:   cfg.CallsPerCore,
 		Seed:           cfg.Seed,
 		RemoteFreeProb: cfg.RemoteFreeProb,
-	})}
+		Reuse:          cfg.Reuse,
+	}}
 }
 
 // Run executes every core's shard concurrently (one goroutine per core,
-// deterministically interleaved) and returns the collected result.
-func (c *Cluster) Run() *ClusterResult { return c.eng.Run() }
+// deterministically interleaved — truly parallel when the config has no
+// cross-core frees) and returns the collected result. Repeated Runs are
+// byte-identical; with Reuse set they draw the engine from a pool.
+func (c *Cluster) Run() *ClusterResult { return multicore.Run(c.cfg) }
 
 // RunCluster is the one-shot form of NewCluster(cfg).Run().
 func RunCluster(cfg ClusterConfig) *ClusterResult { return NewCluster(cfg).Run() }
